@@ -1,0 +1,42 @@
+// Shared helpers for the reproduction benches: realize + verify + measure,
+// and consistent paper-vs-measured table emission.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <stdexcept>
+
+#include "analysis/report.hpp"
+#include "core/checker.hpp"
+#include "core/metrics.hpp"
+#include "core/multilayer.hpp"
+#include "core/orthogonal.hpp"
+
+namespace mlvl::bench {
+
+struct Measured {
+  MultilayerLayout ml;
+  LayoutMetrics metrics;
+};
+
+/// Realize at L layers, verify the geometry, and compute metrics. Throws if
+/// the checker rejects the layout — a bench must never report numbers from
+/// invalid geometry.
+inline Measured measure(const Orthogonal2Layer& o, std::uint32_t L,
+                        bool verify = true, bool pack_extras = true) {
+  Measured r;
+  r.ml = realize(o, RealizeOptions{.L = L, .node_size = 0,
+                                   .pack_extras = pack_extras});
+  if (verify) {
+    CheckResult res = check_layout(o.graph, r.ml);
+    if (!res.ok) throw std::runtime_error("bench: invalid layout: " + res.error);
+  }
+  r.metrics = compute_metrics(r.ml, o.graph);
+  return r;
+}
+
+inline double ratio(double measured, double paper) {
+  return paper > 0 ? measured / paper : 0.0;
+}
+
+}  // namespace mlvl::bench

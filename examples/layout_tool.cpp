@@ -1,0 +1,171 @@
+// layout_tool — command-line front end for the whole pipeline: build a
+// network, lay it out for L layers, verify, and report/export.
+//
+//   example_layout_tool <network> [options]
+//
+// networks:
+//   hypercube <n> | kary <k> <n> | mesh <k> <n> | ghc <r> <n>
+//   folded <n> | enhanced <n> <seed> | ccc <n> | rh <n>
+//   hsn <levels> <r> | hhn <levels> <m> | isn <levels> <r>
+//   butterfly <k> | star <n> | cluster <k> <n> <c>
+// options:
+//   -L <layers>      wiring layers (default 4)
+//   -svg <file>      write an SVG rendering
+//   -save <file>     export graph+geometry in the mlvl text format
+//   -congestion      print the per-layer utilization report
+//   -nocheck         skip geometric verification (for very large instances)
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/congestion.hpp"
+#include "analysis/report.hpp"
+#include "analysis/routing.hpp"
+#include "core/checker.hpp"
+#include "core/io.hpp"
+#include "core/metrics.hpp"
+#include "core/svg.hpp"
+#include "layout/butterfly_layout.hpp"
+#include "layout/cayley_layout.hpp"
+#include "layout/ccc_layout.hpp"
+#include "layout/cluster_layout.hpp"
+#include "layout/folded_hc_layout.hpp"
+#include "layout/ghc_layout.hpp"
+#include "layout/hsn_layout.hpp"
+#include "layout/hypercube_layout.hpp"
+#include "layout/isn_layout.hpp"
+#include "layout/kary_layout.hpp"
+#include "topology/ring.hpp"
+
+namespace {
+
+using namespace mlvl;
+
+int usage() {
+  std::cerr << "usage: example_layout_tool <network> [args...] [-L layers] "
+               "[-svg file] [-save file] [-congestion] [-nocheck]\n"
+               "networks: hypercube n | kary k n | mesh k n | ghc r n |\n"
+               "          folded n | enhanced n seed | ccc n | rh n |\n"
+               "          hsn levels r | hhn levels m | isn levels r |\n"
+               "          butterfly k | star n | cluster k n c\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  std::uint32_t L = 4;
+  std::string svg_path, save_path;
+  bool congestion = false, check = true;
+  std::vector<std::string> pos;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-L" && i + 1 < args.size()) {
+      L = std::atoi(args[++i].c_str());
+    } else if (args[i] == "-svg" && i + 1 < args.size()) {
+      svg_path = args[++i];
+    } else if (args[i] == "-save" && i + 1 < args.size()) {
+      save_path = args[++i];
+    } else if (args[i] == "-congestion") {
+      congestion = true;
+    } else if (args[i] == "-nocheck") {
+      check = false;
+    } else {
+      pos.push_back(args[i]);
+    }
+  }
+  if (pos.empty()) return usage();
+
+  auto arg_at = [&](std::size_t i) -> std::uint32_t {
+    return i < pos.size() ? std::atoi(pos[i].c_str()) : 0;
+  };
+
+  Orthogonal2Layer ortho;
+  try {
+    const std::string& net = pos[0];
+    if (net == "hypercube") ortho = layout::layout_hypercube(arg_at(1));
+    else if (net == "kary") ortho = layout::layout_kary(arg_at(1), arg_at(2));
+    else if (net == "mesh") ortho = layout::layout_kary_mesh(arg_at(1), arg_at(2));
+    else if (net == "ghc") ortho = layout::layout_ghc(arg_at(1), arg_at(2));
+    else if (net == "folded") ortho = layout::layout_folded_hypercube(arg_at(1));
+    else if (net == "enhanced")
+      ortho = layout::layout_enhanced_cube(arg_at(1), arg_at(2));
+    else if (net == "ccc") ortho = layout::layout_ccc(arg_at(1));
+    else if (net == "rh") ortho = layout::layout_reduced_hypercube(arg_at(1));
+    else if (net == "hsn")
+      ortho = layout::layout_hsn(arg_at(1), topo::make_ring(arg_at(2)));
+    else if (net == "hhn") ortho = layout::layout_hhn(arg_at(1), arg_at(2));
+    else if (net == "isn") ortho = layout::layout_isn(arg_at(1), arg_at(2));
+    else if (net == "butterfly") ortho = layout::layout_butterfly(arg_at(1));
+    else if (net == "star") ortho = layout::layout_star_structured(arg_at(1));
+    else if (net == "cluster")
+      ortho = layout::layout_kary_cluster(arg_at(1), arg_at(2), arg_at(3),
+                                          topo::ClusterKind::kHypercube);
+    else return usage();
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+
+  MultilayerLayout ml = realize(ortho, {.L = L});
+  if (check) {
+    CheckResult res = check_layout(ortho.graph, ml);
+    if (!res.ok) {
+      std::cerr << "checker FAILED: " << res.error << "\n";
+      return 1;
+    }
+    std::cout << "checker ok (" << res.points << " occupied grid points, "
+              << (ml.required_rule == ViaRule::kBlocking ? "strict grid model"
+                                                         : "stacked-via rule")
+              << ")\n";
+  }
+
+  LayoutMetrics m = compute_metrics(ml, ortho.graph);
+  analysis::Table t({"nodes", "edges", "L", "width", "height", "area",
+                     "track_area", "volume", "max_wire", "vias"});
+  t.begin_row().cell(std::uint64_t(ortho.graph.num_nodes()))
+      .cell(std::uint64_t(ortho.graph.num_edges())).cell(std::uint64_t(L))
+      .cell(std::uint64_t(m.width)).cell(std::uint64_t(m.height)).cell(m.area)
+      .cell(m.wiring_area).cell(m.volume)
+      .cell(std::uint64_t(m.max_wire_length)).cell(m.via_count);
+  t.print(std::cout);
+
+  if (congestion) {
+    analysis::CongestionReport rep =
+        analysis::analyze_congestion(ortho.graph, ml.geom);
+    analysis::Table c({"layer", "wire_length", "segments"});
+    for (const auto& u : rep.layers)
+      c.begin_row().cell(std::uint64_t(u.layer)).cell(u.wire_length)
+          .cell(std::uint64_t(u.segments));
+    std::cout << "\nper-layer utilization (balance "
+              << rep.balance << ", max via span " << rep.max_via_span
+              << "):\n";
+    c.print(std::cout);
+    std::cout << "edge length percentiles: p50=" << rep.p50
+              << " p90=" << rep.p90 << " p99=" << rep.p99 << " max=" << rep.max
+              << "\n";
+    analysis::TrafficStats tr =
+        analysis::edge_traffic(ortho.graph, m.edge_length);
+    std::cout << "channel load under shortest-wire routing: max="
+              << tr.max_load << " mean=" << tr.mean_load
+              << (tr.exact ? " (all pairs)" : " (sampled)") << "\n";
+  }
+  if (!svg_path.empty()) {
+    if (!write_svg(ml.geom, svg_path)) {
+      std::cerr << "failed to write " << svg_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << svg_path << "\n";
+  }
+  if (!save_path.empty()) {
+    if (!io::save_layout(save_path, ortho.graph, ml.geom)) {
+      std::cerr << "failed to write " << save_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << save_path << "\n";
+  }
+  return 0;
+}

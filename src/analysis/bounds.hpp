@@ -1,0 +1,50 @@
+// Lower bounds on layout cost — the yardstick behind the paper's
+// "optimal within a small constant factor" claims.
+//
+// The bisection argument: any straight cut separating half the nodes is
+// crossed by at least B wires (B = bisection width). A vertical cut of an
+// L-layer layout offers at most H * floor(L/2) horizontal crossing
+// capacity... more precisely, wires crossing a vertical line travel
+// horizontally there, so at most one per (track row, horizontal layer):
+//   H * ceil(L/2) >= B   and   W * ceil(L/2) >= B
+// hence
+//   A = W * H >= (B / ceil(L/2))^2,
+// and under the Thompson model (L = 2): A >= B^2 (both directions carry at
+// most one layer of horizontal/vertical wires respectively... the classical
+// form uses min cut directions; we use the symmetric two-cut version).
+//
+// Bisection widths of the paper's families are classical:
+//   hypercube N/2; k-ary n-cube 2 k^{n-1} (wrapped, k even; ~that otherwise);
+//   complete graph N^2/4; GHC r^n-1 * ... (= (N/r) * r^2/4 per dimension cut
+//   on the widest dimension); butterfly ~2R/ (wrapped); CCC ~2^n/ ...
+// For the bench we compute exact minimum bisections by brute force on small
+// graphs and use the closed forms on larger ones.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace mlvl::analysis {
+
+/// Exact minimum bisection width by exhaustive search; N <= 24.
+[[nodiscard]] std::uint64_t exact_bisection(const Graph& g);
+
+/// Greedy/local-search upper bound on the bisection width for larger graphs
+/// (seeded, deterministic). An upper bound on B gives a *weaker* area lower
+/// bound, so using it keeps the optimality comparison sound.
+[[nodiscard]] std::uint64_t heuristic_bisection(const Graph& g,
+                                                std::uint64_t seed = 1,
+                                                std::uint32_t restarts = 8);
+
+/// Area lower bound from a bisection width under L wiring layers:
+/// (B / ceil(L/2))^2.
+[[nodiscard]] double area_lower_bound(std::uint64_t bisection, std::uint32_t L);
+
+/// Closed-form bisection widths for the paper's families.
+[[nodiscard]] std::uint64_t hypercube_bisection(std::uint32_t n);     // 2^(n-1)
+[[nodiscard]] std::uint64_t complete_bisection(std::uint32_t n);      // floor(n^2/4)... exact floor(N/2)*ceil(N/2)
+[[nodiscard]] std::uint64_t kary_bisection(std::uint32_t k, std::uint32_t n);
+[[nodiscard]] std::uint64_t ghc_bisection(std::uint32_t r, std::uint32_t n);
+
+}  // namespace mlvl::analysis

@@ -1,0 +1,53 @@
+#include "analysis/congestion.hpp"
+
+#include <algorithm>
+
+namespace mlvl::analysis {
+
+CongestionReport analyze_congestion(const Graph& g,
+                                    const LayoutGeometry& geom) {
+  CongestionReport rep;
+  rep.layers.resize(geom.num_layers);
+  for (std::uint16_t l = 0; l < geom.num_layers; ++l)
+    rep.layers[l].layer = static_cast<std::uint16_t>(l + 1);
+
+  std::vector<std::uint32_t> edge_len(g.num_edges(), 0);
+  for (const WireSeg& s : geom.segs) {
+    LayerUsage& u = rep.layers[s.layer - 1];
+    u.wire_length += s.length();
+    ++u.segments;
+    edge_len[s.edge] += s.length();
+  }
+
+  rep.via_count = geom.vias.size();
+  for (const Via& v : geom.vias)
+    rep.max_via_span =
+        std::max<std::uint32_t>(rep.max_via_span, v.z2 - v.z1);
+
+  std::uint64_t total = 0, maxl = 0;
+  std::uint32_t used = 0;
+  for (const LayerUsage& u : rep.layers) {
+    if (u.wire_length == 0) continue;
+    ++used;
+    total += u.wire_length;
+    maxl = std::max(maxl, u.wire_length);
+  }
+  rep.balance = used ? double(maxl) * used / double(total) : 0.0;
+
+  if (!edge_len.empty()) {
+    std::sort(edge_len.begin(), edge_len.end());
+    auto pct = [&](double p) {
+      const std::size_t i = std::min(
+          edge_len.size() - 1,
+          static_cast<std::size_t>(p * (edge_len.size() - 1)));
+      return edge_len[i];
+    };
+    rep.p50 = pct(0.50);
+    rep.p90 = pct(0.90);
+    rep.p99 = pct(0.99);
+    rep.max = edge_len.back();
+  }
+  return rep;
+}
+
+}  // namespace mlvl::analysis

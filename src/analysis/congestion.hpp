@@ -1,0 +1,36 @@
+// Layer/track utilization analysis of realized layouts.
+//
+// The multilayer transform's whole purpose is to spread wiring across
+// layers; this module quantifies how evenly that happens: wire length per
+// layer, occupied-point counts, per-edge length distribution percentiles,
+// and the balance ratio (max layer / mean layer) that signals wasted layers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/graph.hpp"
+
+namespace mlvl::analysis {
+
+struct LayerUsage {
+  std::uint16_t layer = 1;
+  std::uint64_t wire_length = 0;  ///< total x-y wire length on this layer
+  std::uint32_t segments = 0;
+};
+
+struct CongestionReport {
+  std::vector<LayerUsage> layers;   ///< one entry per layer, 1-based order
+  double balance = 0.0;             ///< max/mean wire length across used layers
+  std::uint64_t via_count = 0;
+  std::uint32_t max_via_span = 0;   ///< longest via z-extent
+
+  /// Wire-length distribution percentiles over edges (p50, p90, p99, max).
+  std::uint32_t p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+[[nodiscard]] CongestionReport analyze_congestion(const Graph& g,
+                                                  const LayoutGeometry& geom);
+
+}  // namespace mlvl::analysis

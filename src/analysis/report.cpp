@@ -1,0 +1,59 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mlvl::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v, int prec) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(prec) << v;
+  return cell(ss.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c ? "  " : "");
+      const std::string& v = c < cells.size() ? cells[c] : "";
+      os << std::setw(static_cast<int>(width[c])) << v;
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string Table::str() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+}  // namespace mlvl::analysis

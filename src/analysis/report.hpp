@@ -1,0 +1,32 @@
+// Fixed-width table printing for the benches' paper-vs-measured rows.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlvl::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& begin_row();
+  Table& cell(const std::string& v);
+  Table& cell(std::uint64_t v);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint32_t v) { return cell(static_cast<std::uint64_t>(v)); }
+  Table& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  /// Fixed-point with `prec` decimals.
+  Table& cell(double v, int prec = 3);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mlvl::analysis

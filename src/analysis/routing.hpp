@@ -1,0 +1,54 @@
+// Shortest-path routing over a laid-out network — claim (4) of Sec. 1 and
+// the "maximum total length of wires along a shortest routing path" rows of
+// Secs. 4.1 and 4.3.
+//
+// Each graph edge has the physical wire length measured from the realized
+// geometry; the routed cost of a source-destination pair is the minimum over
+// paths of the summed wire lengths (Dijkstra on wire lengths). The metric of
+// interest is the maximum over pairs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace mlvl::analysis {
+
+/// Minimum summed-wire-length distances from `src` to every node.
+[[nodiscard]] std::vector<std::uint64_t> wire_distances(
+    const Graph& g, std::span<const std::uint32_t> edge_length, NodeId src);
+
+/// Maximum over all pairs (exact when N <= exact_limit, else sampled from
+/// `samples` seeded sources) of the min-total-wire routing cost.
+struct PathWireStats {
+  std::uint64_t max_path_wire = 0;
+  double mean_path_wire = 0.0;
+  bool exact = true;
+};
+[[nodiscard]] PathWireStats max_path_wire(
+    const Graph& g, std::span<const std::uint32_t> edge_length,
+    NodeId exact_limit = 1024, std::uint32_t samples = 64,
+    std::uint64_t seed = 42);
+
+/// BFS hop distances (used for diameter sanity checks in tests).
+[[nodiscard]] std::vector<std::uint32_t> hop_distances(const Graph& g,
+                                                       NodeId src);
+
+/// Per-edge traffic under all-pairs min-wire-length routing: every ordered
+/// pair routes along one shortest path (deterministic tie-break by node id),
+/// and each traversed edge's load is incremented. The max load is the
+/// channel congestion a layout imposes on uniform traffic.
+struct TrafficStats {
+  std::vector<std::uint64_t> edge_load;  ///< per edge
+  std::uint64_t max_load = 0;
+  double mean_load = 0.0;
+  bool exact = true;                     ///< false when sources were sampled
+};
+[[nodiscard]] TrafficStats edge_traffic(
+    const Graph& g, std::span<const std::uint32_t> edge_length,
+    NodeId exact_limit = 512, std::uint32_t samples = 32,
+    std::uint64_t seed = 42);
+
+}  // namespace mlvl::analysis

@@ -1,0 +1,57 @@
+#include "core/ascii.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mlvl {
+
+std::string render_collinear_ascii(const Graph& g, const CollinearLayout& lay) {
+  const std::uint32_t n = g.num_nodes();
+  const std::uint32_t pitch = 4;  // characters per node position
+  const std::uint32_t wcols = n * pitch;
+  const std::uint32_t wire_rows = lay.num_tracks;
+  // Canvas: wire rows (track num_tracks-1 at the top), then the node row.
+  std::vector<std::string> canvas(wire_rows + 1, std::string(wcols, ' '));
+
+  auto xcol = [&](std::uint32_t p) { return p * pitch + 1; };
+  auto wire_row = [&](std::uint32_t t) { return wire_rows - 1 - t; };
+
+  auto put = [&](std::uint32_t r, std::uint32_t cpos, char ch) {
+    char& cur = canvas[r][cpos];
+    if (cur == ' ')
+      cur = ch;
+    else if (cur != ch)
+      cur = '+';
+  };
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    auto [lo, hi] = std::minmax(lay.pos[ed.u], lay.pos[ed.v]);
+    const std::uint32_t r = wire_row(lay.edge_track[e]);
+    for (std::uint32_t cpos = xcol(lo); cpos <= xcol(hi); ++cpos)
+      put(r, cpos, '-');
+    // Vertical drops from the track down to the node row.
+    for (std::uint32_t rr = r + 1; rr <= wire_rows; ++rr) {
+      put(rr, xcol(lo), '|');
+      put(rr, xcol(hi), '|');
+    }
+  }
+  // Node labels (single char or '#' for wide ids) centred at each position.
+  std::string out;
+  for (const std::string& line : canvas) {
+    out += line;
+    out += '\n';
+  }
+  std::string labels(wcols, ' ');
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const std::string id = std::to_string(lay.order[p]);
+    const std::uint32_t start = p * pitch;
+    for (std::uint32_t i = 0; i < id.size() && start + i < wcols; ++i)
+      labels[start + i] = id[i];
+  }
+  out += labels;
+  out += '\n';
+  return out;
+}
+
+}  // namespace mlvl

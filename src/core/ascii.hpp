@@ -1,0 +1,16 @@
+// ASCII rendering of collinear layouts — the form of the paper's Figures 2-4.
+#pragma once
+
+#include <string>
+
+#include "core/collinear.hpp"
+#include "core/graph.hpp"
+
+namespace mlvl {
+
+/// Render a collinear layout: one text row per track (track 0 nearest the
+/// nodes), node labels on the bottom line.
+[[nodiscard]] std::string render_collinear_ascii(const Graph& g,
+                                                 const CollinearLayout& lay);
+
+}  // namespace mlvl

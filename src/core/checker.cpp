@@ -1,0 +1,188 @@
+#include "core/checker.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace mlvl {
+namespace {
+
+constexpr std::uint32_t kCoordBits = 20;
+constexpr std::uint32_t kCoordMax = (1u << kCoordBits) - 1;
+
+constexpr std::uint64_t key3(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (static_cast<std::uint64_t>(z) << (2 * kCoordBits)) |
+         (static_cast<std::uint64_t>(y) << kCoordBits) | x;
+}
+
+std::string at(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return " at (" + std::to_string(x) + "," + std::to_string(y) + "," +
+         std::to_string(z) + ")";
+}
+
+}  // namespace
+
+CheckResult check_layout(const Graph& g, const LayoutGeometry& geom,
+                         ViaRule rule) {
+  CheckResult res;
+  auto fail = [&](std::string msg) {
+    res.ok = false;
+    res.error = std::move(msg);
+    return res;
+  };
+  if (geom.width > kCoordMax || geom.height > kCoordMax)
+    return fail("layout exceeds checker coordinate range");
+
+  // ---- Node boxes: bounds, per-layer disjointness, per-node presence. -----
+  if (geom.boxes.size() != g.num_nodes())
+    return fail("box count != node count");
+  std::unordered_map<std::uint64_t, NodeId> box_at;  // keyed (x, y, layer)
+  std::vector<const NodeBox*> box_of(g.num_nodes(), nullptr);
+  for (const NodeBox& b : geom.boxes) {
+    if (b.node >= g.num_nodes()) return fail("box for unknown node");
+    if (box_of[b.node]) return fail("duplicate box for node");
+    box_of[b.node] = &b;
+    if (b.w == 0 || b.h == 0 || b.x + b.w > geom.width || b.y + b.h > geom.height)
+      return fail("box out of bounds");
+    if (b.layer < 1 || b.layer > geom.num_layers)
+      return fail("box layer out of range");
+    for (std::uint32_t yy = b.y; yy < b.y + b.h; ++yy)
+      for (std::uint32_t xx = b.x; xx < b.x + b.w; ++xx)
+        if (!box_at.emplace(key3(xx, yy, b.layer), b.node).second)
+          return fail("overlapping node boxes" + at(xx, yy, b.layer));
+  }
+
+  // ---- Wire occupancy ------------------------------------------------------
+  // Sort-based detection: one (point, edge) record per occupied grid point,
+  // sorted; a point shared by two different edges is a collision. This is
+  // both faster and leaner than hashing for the multi-million-point layouts
+  // the benches verify.
+  std::vector<std::pair<std::uint64_t, EdgeId>> occ;
+  {
+    std::size_t estimate = geom.vias.size() * 2;
+    for (const WireSeg& s : geom.segs)
+      estimate += static_cast<std::size_t>(s.length()) + 1;
+    occ.reserve(estimate);
+  }
+  auto claim = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                   EdgeId e) { occ.emplace_back(key3(x, y, z), e); };
+
+  for (const WireSeg& s : geom.segs) {
+    if (s.edge >= g.num_edges()) return fail("segment for unknown edge");
+    if (s.x1 > s.x2 || s.y1 > s.y2 || (s.x1 != s.x2 && s.y1 != s.y2))
+      return fail("segment not axis-aligned/normalized");
+    if (s.x2 >= geom.width || s.y2 >= geom.height)
+      return fail("segment out of bounds");
+    if (s.layer < 1 || s.layer > geom.num_layers)
+      return fail("segment layer out of range");
+    for (std::uint32_t yy = s.y1; yy <= s.y2; ++yy)
+      for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
+        claim(xx, yy, s.layer, s.edge);
+  }
+  for (const Via& v : geom.vias) {
+    if (v.edge >= g.num_edges()) return fail("via for unknown edge");
+    if (v.z1 < 1 || v.z2 > geom.num_layers || v.z1 > v.z2)
+      return fail("via z-range invalid");
+    if (v.x >= geom.width || v.y >= geom.height) return fail("via out of bounds");
+    if (rule == ViaRule::kBlocking) {
+      for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz) claim(v.x, v.y, zz, v.edge);
+    } else {
+      claim(v.x, v.y, v.z1, v.edge);
+      claim(v.x, v.y, v.z2, v.edge);
+    }
+  }
+  std::sort(occ.begin(), occ.end());
+  for (std::size_t i = 1; i < occ.size(); ++i) {
+    if (occ[i].first == occ[i - 1].first && occ[i].second != occ[i - 1].second) {
+      const std::uint64_t k = occ[i].first;
+      return fail("wire collision" +
+                  at(k & ((1u << kCoordBits) - 1),
+                     (k >> kCoordBits) & ((1u << kCoordBits) - 1),
+                     static_cast<std::uint32_t>(k >> (2 * kCoordBits))));
+    }
+  }
+  occ.erase(std::unique(occ.begin(), occ.end()), occ.end());
+  res.points = occ.size();
+
+  // ---- Wires on an active layer may only touch their endpoints' boxes. ----
+  for (const auto& [k, e] : occ) {
+    auto it = box_at.find(k);
+    if (it == box_at.end()) continue;
+    const Edge& ed = g.edge(e);
+    if (it->second != ed.u && it->second != ed.v)
+      return fail("wire of edge " + std::to_string(e) +
+                  " enters box of node " + std::to_string(it->second));
+  }
+
+  // ---- Per-edge connectivity ----------------------------------------------
+  std::vector<std::vector<std::uint64_t>> pts(g.num_edges());
+  for (const WireSeg& s : geom.segs)
+    for (std::uint32_t yy = s.y1; yy <= s.y2; ++yy)
+      for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
+        pts[s.edge].push_back(key3(xx, yy, s.layer));
+  for (const Via& v : geom.vias)  // full column: vias always connect
+    for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz)
+      pts[v.edge].push_back(key3(v.x, v.y, zz));
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto& p = pts[e];
+    if (p.empty()) return fail("edge " + std::to_string(e) + " is unrouted");
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+    auto has = [&](std::uint64_t k) {
+      return std::binary_search(p.begin(), p.end(), k);
+    };
+    // BFS over the edge's own points.
+    std::vector<std::uint64_t> stack{p[0]};
+    std::vector<bool> seen(p.size(), false);
+    seen[0] = true;
+    std::size_t reached = 1;
+    const Edge& ed = g.edge(e);
+    bool touch_u = false, touch_v = false;
+    auto check_touch = [&](std::uint64_t k) {
+      const std::uint32_t xx = k & kCoordMax;
+      const std::uint32_t yy = (k >> kCoordBits) & kCoordMax;
+      const std::uint32_t zz = k >> (2 * kCoordBits);
+      if (zz == box_of[ed.u]->layer && box_of[ed.u]->contains(xx, yy))
+        touch_u = true;
+      if (zz == box_of[ed.v]->layer && box_of[ed.v]->contains(xx, yy))
+        touch_v = true;
+    };
+    check_touch(p[0]);
+    while (!stack.empty()) {
+      const std::uint64_t k = stack.back();
+      stack.pop_back();
+      const std::uint32_t xx = k & kCoordMax;
+      const std::uint32_t yy = (k >> kCoordBits) & kCoordMax;
+      const std::uint32_t zz = k >> (2 * kCoordBits);
+      const std::uint64_t nbr[6] = {
+          xx > 0 ? key3(xx - 1, yy, zz) : k, key3(xx + 1, yy, zz),
+          yy > 0 ? key3(xx, yy - 1, zz) : k, key3(xx, yy + 1, zz),
+          zz > 1 ? key3(xx, yy, zz - 1) : k, key3(xx, yy, zz + 1)};
+      for (std::uint64_t nk : nbr) {
+        if (nk == k || !has(nk)) continue;
+        const std::size_t idx =
+            std::lower_bound(p.begin(), p.end(), nk) - p.begin();
+        if (!seen[idx]) {
+          seen[idx] = true;
+          ++reached;
+          check_touch(nk);
+          stack.push_back(nk);
+        }
+      }
+    }
+    if (reached != p.size())
+      return fail("edge " + std::to_string(e) + " wire is disconnected");
+    if (!touch_u || !touch_v)
+      return fail("edge " + std::to_string(e) + " does not reach both terminals");
+  }
+
+  res.ok = true;
+  return res;
+}
+
+CheckResult check_layout(const Graph& g, const MultilayerLayout& ml) {
+  return check_layout(g, ml.geom, ml.required_rule);
+}
+
+}  // namespace mlvl

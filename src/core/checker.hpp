@@ -1,0 +1,47 @@
+// Exact validation of multilayer layout geometry.
+//
+// The multilayer grid model (Sec. 2.2) requires the routed edges to be node-
+// and edge-disjoint paths in the L-layer 3-D grid, with network nodes on
+// layer 1. The checker enforces, point by point:
+//   * no grid point is used by wires of two different edges (same-layer
+//     crossings are therefore impossible; different-layer crossings never
+//     share a point);
+//   * vias occupy their whole z-column (ViaRule::kBlocking, the strict
+//     model) or only their endpoints (kTransparent, stacked-via technology);
+//   * wire points on layer 1 may only touch a node box that is an endpoint
+//     of that edge (the terminal);
+//   * node boxes are pairwise disjoint and within bounds;
+//   * each edge's segments and vias form one connected path that touches
+//     both endpoint boxes on layer 1.
+//
+// Thompson-model layouts (L = 2) are checked by the same rules: a crossing
+// of a horizontal and a vertical wire is two different layers and therefore
+// point-disjoint, while overlaps and knock-knees would collide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/geometry.hpp"
+#include "core/graph.hpp"
+#include "core/multilayer.hpp"
+
+namespace mlvl {
+
+struct CheckResult {
+  bool ok = false;
+  std::string error;           ///< empty when ok
+  std::uint64_t points = 0;    ///< occupied grid points examined
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Validate `geom` as a layout of `g` under the given via rule.
+[[nodiscard]] CheckResult check_layout(const Graph& g, const LayoutGeometry& geom,
+                                       ViaRule rule = ViaRule::kBlocking);
+
+/// Convenience: validate a realized multilayer layout under the strictest
+/// rule it was built for.
+[[nodiscard]] CheckResult check_layout(const Graph& g, const MultilayerLayout& ml);
+
+}  // namespace mlvl

@@ -1,0 +1,106 @@
+// Collinear (one-dimensional) layouts — Sections 3.1, 4.1, 5.1 of the paper.
+//
+// A collinear layout places all N nodes of a graph on a line and routes every
+// edge in a horizontal track above them. The paper derives all of its 2-D
+// layouts by composing two collinear layouts (one for rows, one for columns),
+// so these recursions carry the leading constants of every area result:
+//
+//   ring            : 2 tracks
+//   k-ary n-cube    : f_k(n)   = 2 (k^n - 1) / (k - 1)
+//   complete K_N    : floor(N^2 / 4)                     (optimal, Yeh-Parhami)
+//   generalized HC  : f_r(n+1) = r_n f_r(n) + floor(r_n^2 / 4)
+//   hypercube       : floor(2 N / 3)                     (2-cube basis, Fig. 4)
+//
+// Each constructive builder returns both the factor graph and the layout, with
+// the exact track assignment of the paper's bottom-up recursion. A generic
+// greedy builder (optimal left-edge for a given ordering) covers arbitrary
+// graphs and the folded orderings used for wire-length reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/interval.hpp"
+
+namespace mlvl {
+
+/// A collinear layout of a graph: a node ordering plus one track per edge.
+struct CollinearLayout {
+  std::vector<std::uint32_t> pos;    ///< node label -> line position
+  std::vector<NodeId> order;         ///< line position -> node label
+  std::vector<std::uint32_t> edge_track;  ///< edge id -> track (0 = nearest)
+  std::uint32_t num_tracks = 0;
+
+  /// Longest edge span measured in node pitches.
+  [[nodiscard]] std::uint32_t max_span(const Graph& g) const;
+  /// Sum of all edge spans in node pitches.
+  [[nodiscard]] std::uint64_t total_span(const Graph& g) const;
+  /// True iff `pos`/`order` are inverse permutations and no two edges in one
+  /// track overlap (open interiors).
+  [[nodiscard]] bool is_valid(const Graph& g) const;
+};
+
+/// Graph plus its constructive collinear layout.
+struct CollinearResult {
+  Graph graph;
+  CollinearLayout layout;
+};
+
+/// Node orderings for the constructive builders.
+enum class Ordering {
+  /// The paper's bottom-up order (digit-reversed mixed radix).
+  kNatural,
+  /// Interleaved ("folded") order per dimension: 0, k-1, 1, k-2, ... so that
+  /// every ring link spans at most 2 pitches. Used for max-wire-length
+  /// reduction (Sec. 3.1 "fold each row and column").
+  kFolded,
+};
+
+/// k-node ring (k-ary 1-cube). 2 tracks for k >= 3, 1 track for k == 2.
+[[nodiscard]] CollinearResult collinear_ring(std::uint32_t k,
+                                             Ordering ordering = Ordering::kNatural);
+
+/// k-ary n-cube via the recursion f_k(n) = k f_k(n-1) + 2 (Sec. 3.1, Fig. 2).
+/// With Ordering::kFolded the track assignment is the optimal left-edge one.
+[[nodiscard]] CollinearResult collinear_kary(std::uint32_t k, std::uint32_t n,
+                                             Ordering ordering = Ordering::kNatural);
+
+/// k-ary n-mesh (no wraparound links): the same bottom-up recursion with one
+/// new track per level, f_k(n) = k f_k(n-1) + 1 = (k^n - 1)/(k - 1).
+[[nodiscard]] CollinearResult collinear_kary_mesh(std::uint32_t k, std::uint32_t n);
+
+/// Closed form for the mesh recursion above.
+[[nodiscard]] std::uint64_t kary_mesh_track_formula(std::uint32_t k, std::uint32_t n);
+
+/// Complete graph on n nodes using floor(n^2/4) tracks (Sec. 4.1, Fig. 3).
+[[nodiscard]] CollinearResult collinear_complete(std::uint32_t n);
+
+/// Mixed-radix generalized hypercube; radices[t] is the radix of dimension t
+/// (dimension 0 innermost). Track count follows the paper's recursion.
+[[nodiscard]] CollinearResult collinear_ghc(const std::vector<std::uint32_t>& radices);
+
+/// n-dimensional binary hypercube in floor(2 * 2^n / 3) tracks via the
+/// 2-track 2-cube basis (Sec. 5.1, Fig. 4).
+[[nodiscard]] CollinearResult collinear_hypercube(std::uint32_t n);
+
+/// Generic collinear layout for an arbitrary graph and ordering; the track
+/// assignment is the optimal (left-edge) one for that ordering.
+/// `order[p]` is the node at position p.
+[[nodiscard]] CollinearLayout collinear_greedy(const Graph& g,
+                                               std::vector<NodeId> order);
+
+/// Identity ordering helper.
+[[nodiscard]] std::vector<NodeId> identity_order(NodeId n);
+
+/// Interleaved one-dimension folded order of k values: 0, k-1, 1, k-2, ...
+/// Returned as value -> position.
+[[nodiscard]] std::vector<std::uint32_t> folded_digit_positions(std::uint32_t k);
+
+/// Closed forms for the constructive track counts (used by tests/benches).
+[[nodiscard]] std::uint64_t kary_track_formula(std::uint32_t k, std::uint32_t n);
+[[nodiscard]] std::uint64_t complete_track_formula(std::uint64_t n);
+[[nodiscard]] std::uint64_t ghc_track_formula(const std::vector<std::uint32_t>& radices);
+[[nodiscard]] std::uint64_t hypercube_track_formula(std::uint32_t n);
+
+}  // namespace mlvl

@@ -1,0 +1,42 @@
+#include "core/fold.hpp"
+
+#include <stdexcept>
+
+namespace mlvl {
+
+BaselineMetrics fold_thompson(const LayoutMetrics& two_layer, std::uint32_t L) {
+  if (two_layer.layers != 2)
+    throw std::invalid_argument("fold_thompson: input must be a 2-layer layout");
+  if (L < 2) throw std::invalid_argument("fold_thompson: L >= 2 required");
+  const std::uint32_t strips = L / 2;
+  BaselineMetrics b;
+  b.layers = static_cast<std::uint16_t>(L);
+  b.width = two_layer.width;
+  // One extra track per fold line lets wires turn around the crease.
+  b.height = (two_layer.height + strips - 1) / strips + (strips > 1 ? 1 : 0);
+  b.area = static_cast<std::uint64_t>(b.width) * b.height;
+  b.volume = b.area * L;
+  // Folding preserves intrinsic wire length; each fold crossing costs two
+  // extra grid steps at the crease, a lower-order term we do not model.
+  b.max_wire_length = two_layer.max_wire_length;
+  return b;
+}
+
+BaselineMetrics collinear_multilayer(const Graph& g, const CollinearLayout& lay,
+                                     std::uint32_t L, std::uint32_t node_pitch) {
+  if (L < 2) throw std::invalid_argument("collinear_multilayer: L >= 2 required");
+  if (node_pitch == 0)
+    throw std::invalid_argument("collinear_multilayer: node_pitch >= 1 required");
+  const std::uint32_t groups = L / 2;
+  BaselineMetrics b;
+  b.layers = static_cast<std::uint16_t>(L);
+  b.width = g.num_nodes() * node_pitch;
+  b.height = (lay.num_tracks + groups - 1) / groups + node_pitch;
+  b.area = static_cast<std::uint64_t>(b.width) * b.height;
+  b.volume = b.area * L;
+  // The dominant span is horizontal and does not compress.
+  b.max_wire_length = lay.max_span(g) * node_pitch + 2 * b.height;
+  return b;
+}
+
+}  // namespace mlvl

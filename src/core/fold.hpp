@@ -1,0 +1,50 @@
+// Baseline transforms the paper compares against (Sec. 2.2).
+//
+// 1. Folded Thompson layout: take a 2-layer layout and fold it into
+//    floor(L/2) stacked strips to use L layers. The area shrinks by only
+//    ~L/2 (one dimension compresses), the volume is unchanged (L/2 more
+//    layers times L/2 less area), and wire lengths are preserved up to the
+//    small detour at each fold line. This is the strawman that motivates
+//    designing directly for L layers.
+//
+// 2. Multilayer collinear layout: a collinear layout whose tracks are
+//    spread over floor(L/2) layer groups. The height shrinks by ~L/2 but the
+//    width (N node pitches) cannot shrink, so area improves by at most ~L/2
+//    and volume not at all; the dominant (horizontal) wire spans are
+//    unchanged.
+//
+// Both are computed with exact ceil arithmetic from measured 2-layer
+// quantities so bench comparisons are apples-to-apples.
+#pragma once
+
+#include <cstdint>
+
+#include "core/collinear.hpp"
+#include "core/graph.hpp"
+#include "core/metrics.hpp"
+
+namespace mlvl {
+
+struct BaselineMetrics {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::uint16_t layers = 2;
+  std::uint64_t area = 0;
+  std::uint64_t volume = 0;
+  std::uint32_t max_wire_length = 0;
+};
+
+/// Fold a measured 2-layer layout into L layers (height-wise folding into
+/// floor(L/2) strips; each strip keeps its own horizontal+vertical layer
+/// pair). Requires two_layer.layers == 2.
+[[nodiscard]] BaselineMetrics fold_thompson(const LayoutMetrics& two_layer,
+                                            std::uint32_t L);
+
+/// Multilayer collinear baseline: the given collinear layout with its tracks
+/// spread over floor(L/2) layer groups; node boxes are `node_pitch` wide.
+[[nodiscard]] BaselineMetrics collinear_multilayer(const Graph& g,
+                                                   const CollinearLayout& lay,
+                                                   std::uint32_t L,
+                                                   std::uint32_t node_pitch);
+
+}  // namespace mlvl

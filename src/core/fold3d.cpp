@@ -1,0 +1,138 @@
+#include "core/fold3d.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace mlvl {
+namespace {
+
+struct Strip {
+  std::uint32_t lo = 0, hi = 0;  ///< y-range [lo, hi)
+  std::int64_t start = 0;        ///< y' of local row 0 (pre-shift)
+  int dir = 1;                   ///< accordion direction
+};
+
+}  // namespace
+
+Fold3dLayout fold_3d(const MultilayerLayout& ml, std::uint32_t slabs) {
+  const LayoutGeometry& in = ml.geom;
+  if (slabs < 1) throw std::invalid_argument("fold_3d: slabs >= 1 required");
+  Fold3dLayout out;
+  out.slabs = slabs;
+  out.layers_per_slab = in.num_layers;
+  if (slabs == 1) {
+    out.geom = in;
+    return out;
+  }
+  if (in.height < 2 * slabs)
+    throw std::invalid_argument("fold_3d: layout too short to fold");
+
+  // A cut at y separates rows y-1 and y; it is safe if no box spans it.
+  std::vector<bool> safe(in.height + 1, true);
+  for (const NodeBox& b : in.boxes)
+    for (std::uint32_t y = b.y + 1; y < b.y + b.h; ++y) safe[y] = false;
+
+  std::vector<std::uint32_t> bounds{0};
+  for (std::uint32_t s = 1; s < slabs; ++s) {
+    const auto target =
+        static_cast<std::uint32_t>(std::uint64_t(in.height) * s / slabs);
+    std::uint32_t cut = 0;
+    for (std::uint32_t d = 0; d < in.height; ++d) {
+      if (target + d < in.height && target + d > bounds.back() &&
+          safe[target + d]) {
+        cut = target + d;
+        break;
+      }
+      if (target > d && target - d > bounds.back() && safe[target - d]) {
+        cut = target - d;
+        break;
+      }
+    }
+    if (cut == 0) throw std::runtime_error("fold_3d: no box-free cut found");
+    bounds.push_back(cut);
+  }
+  bounds.push_back(in.height);
+
+  // Accordion y' coordinates: each strip reverses direction, and adjacent
+  // strips share the y' of their common boundary rows so fold crossings are
+  // vertical (pure z) moves.
+  std::vector<Strip> strips(slabs);
+  std::int64_t cur = 0, lo_y = 0, hi_y = 0;
+  int dir = 1;
+  for (std::uint32_t s = 0; s < slabs; ++s) {
+    strips[s] = Strip{bounds[s], bounds[s + 1], cur, dir};
+    const std::int64_t end =
+        cur + std::int64_t(dir) * (std::int64_t(bounds[s + 1] - bounds[s]) - 1);
+    lo_y = std::min({lo_y, cur, end});
+    hi_y = std::max({hi_y, cur, end});
+    cur = end;
+    dir = -dir;
+  }
+  const std::int64_t shift = -lo_y;
+
+  const std::uint32_t L = in.num_layers;
+  auto slab_of = [&](std::uint32_t y) {
+    const auto it = std::upper_bound(bounds.begin(), bounds.end(), y);
+    return static_cast<std::uint32_t>(it - bounds.begin() - 1);
+  };
+  auto map_y = [&](std::uint32_t y) {
+    const Strip& st = strips[slab_of(y)];
+    return static_cast<std::uint32_t>(st.start + std::int64_t(st.dir) * (y - st.lo) +
+                                      shift);
+  };
+
+  LayoutGeometry& g = out.geom;
+  g.width = in.width;
+  g.height = static_cast<std::uint32_t>(hi_y - lo_y + 1);
+  g.num_layers = static_cast<std::uint16_t>(slabs * L);
+
+  for (const NodeBox& b : in.boxes) {
+    const std::uint32_t s = slab_of(b.y);
+    if (slab_of(b.y + b.h - 1) != s)
+      throw std::runtime_error("fold_3d: box cut by fold line");
+    const std::uint32_t ya = map_y(b.y), yb = map_y(b.y + b.h - 1);
+    NodeBox nb = b;
+    nb.y = std::min(ya, yb);
+    nb.layer = static_cast<std::uint16_t>(b.layer + s * L);
+    g.boxes.push_back(nb);
+  }
+
+  for (const WireSeg& seg : in.segs) {
+    if (seg.y1 == seg.y2) {  // horizontal: single strip
+      const std::uint32_t s = slab_of(seg.y1);
+      g.segs.push_back(WireSeg{seg.x1, map_y(seg.y1), seg.x2, map_y(seg.y1),
+                               static_cast<std::uint16_t>(seg.layer + s * L),
+                               seg.edge});
+      continue;
+    }
+    // Vertical: split per strip; add inter-slab vias at each crossed fold.
+    std::uint32_t y = seg.y1;
+    while (y <= seg.y2) {
+      const std::uint32_t s = slab_of(y);
+      const std::uint32_t stop = std::min(seg.y2, strips[s].hi - 1);
+      const std::uint32_t ya = map_y(y), yb = map_y(stop);
+      g.segs.push_back(WireSeg{seg.x1, std::min(ya, yb), seg.x1,
+                               std::max(ya, yb),
+                               static_cast<std::uint16_t>(seg.layer + s * L),
+                               seg.edge});
+      if (stop == seg.y2) break;
+      // Crossing from strip s into s+1: same (x, y'), adjacent slabs.
+      g.vias.push_back(Via{seg.x1, map_y(stop),
+                           static_cast<std::uint16_t>(seg.layer + s * L),
+                           static_cast<std::uint16_t>(seg.layer + (s + 1) * L),
+                           seg.edge});
+      y = stop + 1;
+    }
+  }
+
+  for (const Via& v : in.vias) {
+    const std::uint32_t s = slab_of(v.y);
+    g.vias.push_back(Via{v.x, map_y(v.y),
+                         static_cast<std::uint16_t>(v.z1 + s * L),
+                         static_cast<std::uint16_t>(v.z2 + s * L), v.edge});
+  }
+  return out;
+}
+
+}  // namespace mlvl

@@ -1,0 +1,38 @@
+// Multilayer 3-D grid model layouts by accordion folding (Sec. 2.2).
+//
+// The paper's observation: "when the numbers of wiring layers and active
+// layers are both increased by a factor of t, the area of a layout ... can
+// be reduced by a factor of about t by folding the layout, while the volume
+// and maximum wire length remain approximately the same."
+//
+// fold_3d realizes that transform geometrically: the layout is cut at t-1
+// horizontal fold lines (snapped so no node box is cut), the strips are
+// stacked as t slabs of L layers each (the active layers carry the strips'
+// node boxes), and every wire crossing a fold line continues through an
+// inter-slab via column at the same (x, y'). The y' coordinates zigzag like
+// a physical accordion so crossings align exactly.
+//
+// Inter-slab via columns pass through all layers of a slab (like TSVs), so
+// folded layouts verify under the stacked-via rule (ViaRule::kTransparent).
+#pragma once
+
+#include <cstdint>
+
+#include "core/geometry.hpp"
+#include "core/multilayer.hpp"
+
+namespace mlvl {
+
+struct Fold3dLayout {
+  std::uint32_t slabs = 1;            ///< active layers L_A
+  std::uint32_t layers_per_slab = 2;  ///< wiring layers per slab
+  LayoutGeometry geom;                ///< total layers = slabs * layers_per_slab
+};
+
+/// Fold a realized 2-D multilayer layout into `slabs` stacked slabs.
+/// Fold lines are snapped to horizontal cuts free of node boxes; throws if
+/// no such cut exists near a target (pathological node placements only).
+[[nodiscard]] Fold3dLayout fold_3d(const MultilayerLayout& ml,
+                                   std::uint32_t slabs);
+
+}  // namespace mlvl

@@ -1,0 +1,7 @@
+#include "core/geometry.hpp"
+
+// Geometry is a passive data module; behaviour lives in checker/metrics.
+// This translation unit exists so the target has a home for future geometry
+// algorithms and to keep one .cpp per public header.
+
+namespace mlvl {}  // namespace mlvl

@@ -1,0 +1,69 @@
+// Explicit multilayer layout geometry.
+//
+// A realized layout is a set of node boxes on layer 1 plus, per graph edge,
+// axis-aligned wire segments (each on one layer) and vias (z-columns). The
+// checker validates the multilayer grid model rules on this representation,
+// so every area/volume/wire-length number reported by the benches comes from
+// geometry that has actually been routed, not from a formula.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace mlvl {
+
+/// Axis-aligned wire segment on one layer; coordinates are inclusive grid
+/// points, with (x1,y1) <= (x2,y2) componentwise and exactly one axis varying
+/// (or none: a degenerate single-point segment is permitted as a stub).
+struct WireSeg {
+  std::uint32_t x1 = 0, y1 = 0;
+  std::uint32_t x2 = 0, y2 = 0;
+  std::uint16_t layer = 1;  ///< 1-based
+  EdgeId edge = 0;
+
+  [[nodiscard]] bool horizontal() const { return y1 == y2; }
+  [[nodiscard]] std::uint32_t length() const {
+    return (x2 - x1) + (y2 - y1);
+  }
+};
+
+/// Inter-layer connector occupying the z-column [z1, z2] at (x, y).
+struct Via {
+  std::uint32_t x = 0, y = 0;
+  std::uint16_t z1 = 1, z2 = 1;  ///< 1-based, z1 <= z2
+  EdgeId edge = 0;
+};
+
+/// Footprint of a network node on its active layer (layer 1 in the
+/// multilayer 2-D grid model; other layers appear in 3-D grid model layouts
+/// with several active layers, cf. fold_3d).
+struct NodeBox {
+  std::uint32_t x = 0, y = 0;  ///< top-left grid point
+  std::uint32_t w = 1, h = 1;  ///< extent in grid points (w x h points)
+  NodeId node = 0;
+  std::uint16_t layer = 1;     ///< active layer holding this node
+
+  [[nodiscard]] bool contains(std::uint32_t px, std::uint32_t py) const {
+    return px >= x && px < x + w && py >= y && py < y + h;
+  }
+};
+
+struct LayoutGeometry {
+  std::uint16_t num_layers = 2;
+  std::uint32_t width = 0;   ///< grid points in x
+  std::uint32_t height = 0;  ///< grid points in y
+  std::vector<NodeBox> boxes;
+  std::vector<WireSeg> segs;
+  std::vector<Via> vias;
+
+  [[nodiscard]] std::uint64_t area() const {
+    return static_cast<std::uint64_t>(width) * height;
+  }
+  [[nodiscard]] std::uint64_t volume() const {
+    return area() * num_layers;
+  }
+};
+
+}  // namespace mlvl

@@ -1,0 +1,94 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace mlvl {
+
+EdgeId Graph::add_edge(NodeId u, NodeId v) {
+  if (u == v) throw std::invalid_argument("Graph: self-loop rejected");
+  if (u >= num_nodes_ || v >= num_nodes_)
+    throw std::out_of_range("Graph: endpoint out of range");
+  csr_valid_ = false;
+  edges_.push_back(Edge{u, v});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+void Graph::ensure_csr() const {
+  if (csr_valid_) return;
+  offsets_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (NodeId u = 0; u < num_nodes_; ++u) offsets_[u + 1] += offsets_[u];
+  adj_.resize(2 * edges_.size());
+  adj_edge_.resize(2 * edges_.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const Edge& ed = edges_[e];
+    adj_[cursor[ed.u]] = ed.v;
+    adj_edge_[cursor[ed.u]++] = e;
+    adj_[cursor[ed.v]] = ed.u;
+    adj_edge_[cursor[ed.v]++] = e;
+  }
+  csr_valid_ = true;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  ensure_csr();
+  return {adj_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::span<const EdgeId> Graph::incident_edges(NodeId u) const {
+  ensure_csr();
+  return {adj_edge_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t d = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) d = std::max(d, degree(u));
+  return d;
+}
+
+bool Graph::is_connected() const {
+  if (num_nodes_ == 0) return true;
+  std::vector<bool> seen(num_nodes_, false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  NodeId reached = 1;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (NodeId v : neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++reached;
+        q.push(v);
+      }
+    }
+  }
+  return reached == num_nodes_;
+}
+
+bool Graph::has_parallel_edges() const {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : edges_) {
+    auto key = std::minmax(e.u, e.v);
+    if (!seen.insert({key.first, key.second}).second) return true;
+  }
+  return false;
+}
+
+bool Graph::is_regular() const {
+  if (num_nodes_ == 0) return true;
+  const std::uint32_t d0 = degree(0);
+  for (NodeId u = 1; u < num_nodes_; ++u)
+    if (degree(u) != d0) return false;
+  return true;
+}
+
+}  // namespace mlvl

@@ -1,0 +1,83 @@
+// Compact undirected graph used throughout mlvl.
+//
+// Networks in this library are modest in node count but may be dense
+// (complete graphs, generalized hypercubes), so the representation keeps an
+// explicit edge list (the layout pipeline assigns one routed wire per edge)
+// plus a CSR adjacency built on demand for traversals.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mlvl {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// An undirected edge between two nodes. Self-loops are disallowed.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Undirected multigraph with stable edge ids.
+///
+/// Parallel edges are permitted (the butterfly/ISN quotients use edge
+/// multiplicities), but self-loops are rejected.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] EdgeId num_edges() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  /// Appends an undirected edge and returns its id. Requires u != v and both
+  /// endpoints in range.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  /// Neighbors of `u` (with multiplicity). Builds the CSR index lazily;
+  /// invalidated by add_edge.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const;
+
+  /// Incident edge ids of `u`. Same lazy index as neighbors().
+  [[nodiscard]] std::span<const EdgeId> incident_edges(NodeId u) const;
+
+  [[nodiscard]] std::uint32_t degree(NodeId u) const {
+    return static_cast<std::uint32_t>(neighbors(u).size());
+  }
+  [[nodiscard]] std::uint32_t max_degree() const;
+
+  /// True if every node can reach every other node.
+  [[nodiscard]] bool is_connected() const;
+
+  /// True if some pair of nodes has more than one edge between them.
+  [[nodiscard]] bool has_parallel_edges() const;
+
+  /// True if the graph is vertex-transitive-looking in the cheap sense that
+  /// all degrees are equal (a sanity predicate used by topology tests).
+  [[nodiscard]] bool is_regular() const;
+
+ private:
+  void ensure_csr() const;
+
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+
+  // Lazily built CSR: offsets_[u] .. offsets_[u+1] index adj_/adj_edge_.
+  mutable std::vector<std::uint32_t> offsets_;
+  mutable std::vector<NodeId> adj_;
+  mutable std::vector<EdgeId> adj_edge_;
+  mutable bool csr_valid_ = false;
+};
+
+}  // namespace mlvl

@@ -1,0 +1,91 @@
+#include "core/interval.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace mlvl {
+
+TrackAssignment assign_tracks_left_edge(std::vector<Interval> intervals) {
+  for (const Interval& iv : intervals)
+    if (iv.lo >= iv.hi)
+      throw std::invalid_argument("Interval: requires lo < hi");
+
+  const std::size_t m = intervals.size();
+  std::vector<std::uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (intervals[a].lo != intervals[b].lo)
+      return intervals[a].lo < intervals[b].lo;
+    return intervals[a].hi < intervals[b].hi;
+  });
+
+  TrackAssignment out;
+  out.track.assign(m, 0);
+  // Min-heap of (right endpoint, track id) for tracks in use; a new interval
+  // reuses the earliest-finishing track whose interval has ended (abutting
+  // allowed: hi <= lo qualifies).
+  using Free = std::pair<std::uint32_t, std::uint32_t>;
+  std::priority_queue<Free, std::vector<Free>, std::greater<>> busy;
+  std::vector<std::uint32_t> free_tracks;
+  for (std::uint32_t idx : order) {
+    const Interval& iv = intervals[idx];
+    while (!busy.empty() && busy.top().first <= iv.lo) {
+      free_tracks.push_back(busy.top().second);
+      busy.pop();
+    }
+    std::uint32_t t;
+    if (!free_tracks.empty()) {
+      t = free_tracks.back();
+      free_tracks.pop_back();
+    } else {
+      t = out.num_tracks++;
+    }
+    out.track[idx] = t;
+    busy.emplace(iv.hi, t);
+  }
+  return out;
+}
+
+std::uint32_t interval_density(const std::vector<Interval>& intervals) {
+  // Sweep: +1 at lo, -1 at hi; process -1 before +1 at equal coordinates so
+  // abutting intervals do not count as overlapping.
+  std::vector<std::pair<std::uint32_t, int>> events;
+  events.reserve(2 * intervals.size());
+  for (const Interval& iv : intervals) {
+    events.emplace_back(iv.lo, +1);
+    events.emplace_back(iv.hi, -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  std::int64_t cur = 0, best = 0;
+  for (const auto& [pos, delta] : events) {
+    cur += delta;
+    best = std::max(best, cur);
+  }
+  return static_cast<std::uint32_t>(best);
+}
+
+bool assignment_is_valid(const std::vector<Interval>& intervals,
+                         const TrackAssignment& assignment) {
+  if (assignment.track.size() != intervals.size()) return false;
+  std::map<std::uint32_t, std::vector<Interval>> by_track;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (assignment.track[i] >= assignment.num_tracks) return false;
+    by_track[assignment.track[i]].push_back(intervals[i]);
+  }
+  for (auto& [t, ivs] : by_track) {
+    std::sort(ivs.begin(), ivs.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    for (std::size_t i = 1; i < ivs.size(); ++i)
+      if (ivs[i].lo < ivs[i - 1].hi) return false;
+  }
+  return true;
+}
+
+}  // namespace mlvl

@@ -1,0 +1,48 @@
+// Track assignment for 1-D wire intervals.
+//
+// A collinear layout places nodes on a line; every edge becomes a horizontal
+// interval that must be assigned to a track such that no two intervals in the
+// same track overlap (they may abut: the shared coordinate is a node of
+// nonzero width, and the two wires attach to distinct terminals).
+//
+// The greedy left-edge algorithm is optimal for this problem: the number of
+// tracks it uses equals the interval density (maximum number of intervals
+// strictly containing a common point), which is an obvious lower bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mlvl {
+
+/// Closed node span [lo, hi] with lo < hi; overlap is tested on the open
+/// interior, so [0,3] and [3,5] can share a track.
+struct Interval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  /// Caller-defined payload (edge id in collinear layouts).
+  std::uint32_t tag = 0;
+};
+
+/// Result of a track assignment.
+struct TrackAssignment {
+  /// track[i] is the track of intervals[i] (same order as the input).
+  std::vector<std::uint32_t> track;
+  std::uint32_t num_tracks = 0;
+};
+
+/// Optimal (left-edge / greedy) track assignment. O(M log M).
+[[nodiscard]] TrackAssignment assign_tracks_left_edge(
+    std::vector<Interval> intervals);
+
+/// Maximum number of intervals whose open interiors share a point.
+/// Equals the optimal track count.
+[[nodiscard]] std::uint32_t interval_density(
+    const std::vector<Interval>& intervals);
+
+/// True iff no two intervals mapped to the same track overlap in their open
+/// interiors. Used by tests and the layout checker.
+[[nodiscard]] bool assignment_is_valid(const std::vector<Interval>& intervals,
+                                       const TrackAssignment& assignment);
+
+}  // namespace mlvl

@@ -1,0 +1,116 @@
+#include "core/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace mlvl::io {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << "mlvl-graph 1\n";
+  os << "nodes " << g.num_nodes() << "\n";
+  for (const Edge& e : g.edges()) os << "edge " << e.u << " " << e.v << "\n";
+}
+
+void write_geometry(std::ostream& os, const LayoutGeometry& geom) {
+  os << "mlvl-geom 1\n";
+  os << "dims " << geom.width << " " << geom.height << " " << geom.num_layers
+     << "\n";
+  for (const NodeBox& b : geom.boxes)
+    os << "box " << b.node << " " << b.x << " " << b.y << " " << b.w << " "
+       << b.h << " " << b.layer << "\n";
+  for (const WireSeg& s : geom.segs)
+    os << "seg " << s.edge << " " << s.x1 << " " << s.y1 << " " << s.x2 << " "
+       << s.y2 << " " << s.layer << "\n";
+  for (const Via& v : geom.vias)
+    os << "via " << v.edge << " " << v.x << " " << v.y << " " << v.z1 << " "
+       << v.z2 << "\n";
+}
+
+std::optional<Graph> read_graph(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "mlvl-graph" || version != 1)
+    return std::nullopt;
+  NodeId n = 0;
+  if (!(is >> tag >> n) || tag != "nodes") return std::nullopt;
+  Graph g(n);
+  while (is >> tag) {
+    if (tag != "edge") {
+      // Put the token back conceptually by remembering stream state is
+      // simpler with peek-based parsing; instead we stop at the first
+      // non-edge tag and rewind by its length.
+      for (auto it = tag.rbegin(); it != tag.rend(); ++it) is.putback(*it);
+      break;
+    }
+    NodeId u = 0, v = 0;
+    if (!(is >> u >> v)) return std::nullopt;
+    if (u == v || u >= n || v >= n) return std::nullopt;
+    g.add_edge(u, v);
+  }
+  is.clear();
+  return g;
+}
+
+std::optional<LayoutGeometry> read_geometry(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "mlvl-geom" || version != 1)
+    return std::nullopt;
+  LayoutGeometry geom;
+  std::uint32_t layers = 0;
+  if (!(is >> tag >> geom.width >> geom.height >> layers) || tag != "dims")
+    return std::nullopt;
+  geom.num_layers = static_cast<std::uint16_t>(layers);
+  while (is >> tag) {
+    if (tag == "box") {
+      NodeBox b;
+      std::uint32_t layer = 0;
+      if (!(is >> b.node >> b.x >> b.y >> b.w >> b.h >> layer))
+        return std::nullopt;
+      b.layer = static_cast<std::uint16_t>(layer);
+      geom.boxes.push_back(b);
+    } else if (tag == "seg") {
+      WireSeg s;
+      std::uint32_t layer = 0;
+      if (!(is >> s.edge >> s.x1 >> s.y1 >> s.x2 >> s.y2 >> layer))
+        return std::nullopt;
+      s.layer = static_cast<std::uint16_t>(layer);
+      geom.segs.push_back(s);
+    } else if (tag == "via") {
+      Via v;
+      std::uint32_t z1 = 0, z2 = 0;
+      if (!(is >> v.edge >> v.x >> v.y >> z1 >> z2)) return std::nullopt;
+      v.z1 = static_cast<std::uint16_t>(z1);
+      v.z2 = static_cast<std::uint16_t>(z2);
+      geom.vias.push_back(v);
+    } else {
+      for (auto it = tag.rbegin(); it != tag.rend(); ++it) is.putback(*it);
+      break;
+    }
+  }
+  is.clear();
+  return geom;
+}
+
+bool save_layout(const std::string& path, const Graph& g,
+                 const LayoutGeometry& geom) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_graph(out, g);
+  write_geometry(out, geom);
+  return static_cast<bool>(out);
+}
+
+std::optional<LoadedLayout> load_layout(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  auto g = read_graph(in);
+  if (!g) return std::nullopt;
+  auto geom = read_geometry(in);
+  if (!geom) return std::nullopt;
+  return LoadedLayout{std::move(*g), std::move(*geom)};
+}
+
+}  // namespace mlvl::io

@@ -1,0 +1,44 @@
+// Plain-text serialization of graphs and layout geometry.
+//
+// Format ("mlvl v1"): line-oriented, whitespace-separated, stable across
+// versions by construction — each record starts with a tag. Intended for
+// exporting layouts to external tooling and for golden tests.
+//
+//   mlvl-graph 1
+//   nodes <N>
+//   edge <u> <v>            (one per edge, in id order)
+//
+//   mlvl-geom 1
+//   dims <width> <height> <layers>
+//   box <node> <x> <y> <w> <h> <layer>
+//   seg <edge> <x1> <y1> <x2> <y2> <layer>
+//   via <edge> <x> <y> <z1> <z2>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/geometry.hpp"
+#include "core/graph.hpp"
+
+namespace mlvl::io {
+
+void write_graph(std::ostream& os, const Graph& g);
+void write_geometry(std::ostream& os, const LayoutGeometry& geom);
+
+/// Parse a graph; returns nullopt (and leaves the stream wherever parsing
+/// stopped) on malformed input.
+[[nodiscard]] std::optional<Graph> read_graph(std::istream& is);
+[[nodiscard]] std::optional<LayoutGeometry> read_geometry(std::istream& is);
+
+/// File helpers; return false on I/O or parse failure.
+bool save_layout(const std::string& path, const Graph& g,
+                 const LayoutGeometry& geom);
+struct LoadedLayout {
+  Graph graph;
+  LayoutGeometry geom;
+};
+[[nodiscard]] std::optional<LoadedLayout> load_layout(const std::string& path);
+
+}  // namespace mlvl::io

@@ -1,0 +1,29 @@
+#include "core/metrics.hpp"
+
+namespace mlvl {
+
+LayoutMetrics compute_metrics(const MultilayerLayout& ml, const Graph& g) {
+  LayoutMetrics m;
+  m.width = ml.geom.width;
+  m.height = ml.geom.height;
+  m.layers = ml.geom.num_layers;
+  m.area = ml.geom.area();
+  m.volume = ml.geom.volume();
+  m.wiring_width = ml.wiring_width;
+  m.wiring_height = ml.wiring_height;
+  m.wiring_area =
+      static_cast<std::uint64_t>(ml.wiring_width) * ml.wiring_height;
+  m.via_count = ml.geom.vias.size();
+  m.edge_length.assign(g.num_edges(), 0);
+  for (const WireSeg& s : ml.geom.segs) m.edge_length[s.edge] += s.length();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    m.total_wire_length += m.edge_length[e];
+    if (m.edge_length[e] > m.max_wire_length) {
+      m.max_wire_length = m.edge_length[e];
+      m.max_wire_edge = e;
+    }
+  }
+  return m;
+}
+
+}  // namespace mlvl

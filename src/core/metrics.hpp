@@ -1,0 +1,38 @@
+// Exact cost metrics of a realized layout — the quantities the paper's
+// closed forms predict: area, volume (= L * A), maximum and total wire
+// length. Wire length is the x-y routed length; vias are counted separately
+// (the paper does not charge vias to wire length).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/multilayer.hpp"
+
+namespace mlvl {
+
+struct LayoutMetrics {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::uint16_t layers = 2;
+  std::uint64_t area = 0;    ///< width * height
+  std::uint64_t volume = 0;  ///< layers * area
+
+  /// Track-dominated extents: sum of wiring-band widths, excluding node
+  /// boxes. The paper's leading constants count exactly these.
+  std::uint32_t wiring_width = 0;
+  std::uint32_t wiring_height = 0;
+  std::uint64_t wiring_area = 0;
+
+  std::uint64_t total_wire_length = 0;
+  std::uint32_t max_wire_length = 0;
+  EdgeId max_wire_edge = 0;
+  std::uint64_t via_count = 0;
+  std::vector<std::uint32_t> edge_length;  ///< per edge, x-y length
+};
+
+[[nodiscard]] LayoutMetrics compute_metrics(const MultilayerLayout& ml,
+                                            const Graph& g);
+
+}  // namespace mlvl

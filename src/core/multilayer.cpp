@@ -1,0 +1,348 @@
+#include "core/multilayer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/interval.hpp"
+
+namespace mlvl {
+namespace {
+
+constexpr std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) {
+  return (a + b - 1) / b;
+}
+
+struct TerminalRef {
+  EdgeId edge;
+  bool away;  ///< wire leaves toward larger coordinate (right / down)
+};
+
+}  // namespace
+
+MultilayerLayout realize(const Orthogonal2Layer& o, const RealizeOptions& opt) {
+  if (opt.L < 2) throw std::invalid_argument("realize: L >= 2 required");
+  const Graph& g = o.graph;
+  const Placement& pl = o.place;
+  const std::uint32_t R = pl.rows, C = pl.cols;
+  const std::uint32_t L = opt.L;
+  const std::uint32_t t_h = L / 2;
+  const std::uint32_t t_v = (L + 1) / 2;
+
+  // ---- Terminal allocation -------------------------------------------------
+  // Top terminals serve row edges and extra-link sources; right terminals
+  // serve column edges and extra-link destinations. Wires that leave toward
+  // smaller coordinates are listed first so that two wires sharing a track
+  // and abutting at a node never overlap physically.
+  std::vector<std::vector<TerminalRef>> top(g.num_nodes()), right(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    switch (o.kind[e]) {
+      case EdgeKind::kRow:
+        top[ed.u].push_back({e, pl.col_of[ed.v] > pl.col_of[ed.u]});
+        top[ed.v].push_back({e, pl.col_of[ed.u] > pl.col_of[ed.v]});
+        break;
+      case EdgeKind::kCol:
+        right[ed.u].push_back({e, pl.row_of[ed.v] > pl.row_of[ed.u]});
+        right[ed.v].push_back({e, pl.row_of[ed.u] > pl.row_of[ed.v]});
+        break;
+      case EdgeKind::kExtra:
+        // Extras take a Z-shaped route between two top terminals (u's row
+        // band -> a hub column band -> v's row band); terminal ordering is
+        // irrelevant because extra tracks never abut (inflated intervals).
+        top[ed.u].push_back({e, true});
+        top[ed.v].push_back({e, true});
+        break;
+    }
+  }
+  std::uint32_t need = 2;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto toward_first = [](std::vector<TerminalRef>& list) {
+      std::stable_sort(list.begin(), list.end(),
+                       [](const TerminalRef& a, const TerminalRef& b) {
+                         return !a.away && b.away;
+                       });
+    };
+    toward_first(top[u]);
+    toward_first(right[u]);
+    need = std::max<std::uint32_t>(
+        need, std::max(top[u].size() + 1, right[u].size()));
+  }
+  const std::uint32_t S = opt.node_size ? opt.node_size : need + 1;
+  if (S < need + 1)
+    throw std::invalid_argument("realize: node_size too small for terminals");
+
+  // Terminal offset lookup: edge -> offset at each endpoint.
+  std::vector<std::uint32_t> top_off(g.num_edges(), 0), top_off2(g.num_edges(), 0);
+  std::vector<std::uint32_t> right_off(g.num_edges(), 0), right_off2(g.num_edges(), 0);
+  auto record = [&](const std::vector<std::vector<TerminalRef>>& lists,
+                    std::vector<std::uint32_t>& off_u,
+                    std::vector<std::uint32_t>& off_v) {
+    for (NodeId u = 0; u < lists.size(); ++u) {
+      for (std::uint32_t i = 0; i < lists[u].size(); ++i) {
+        const EdgeId e = lists[u][i].edge;
+        if (g.edge(e).u == u)
+          off_u[e] = i;
+        else
+          off_v[e] = i;
+      }
+    }
+  };
+  record(top, top_off, top_off2);
+  record(right, right_off, right_off2);
+  auto top_offset = [&](EdgeId e, NodeId u) {
+    return g.edge(e).u == u ? top_off[e] : top_off2[e];
+  };
+  auto right_offset = [&](EdgeId e, NodeId u) {
+    return g.edge(e).u == u ? right_off[e] : right_off2[e];
+  };
+
+  // ---- Extra-link group and track assignment -------------------------------
+  // An extra link routes top terminal -> horizontal run in u's row band ->
+  // vertical run in a hub column band -> horizontal run in v's row band ->
+  // top terminal. Hubs are shared by ~t_h extras each so the vertical width
+  // contributed by extras shrinks with the layer count like everything else.
+  //
+  // Extras use only the paired groups [0, t_h). Intervals are measured in
+  // slot space (node column j / row band i -> 2j, column band j -> 2j+1) and
+  // inflated by one so abutting extras never share a physical track (their
+  // junction positions are not ordered the way terminals are).
+  const std::uint32_t t_pair = t_h;
+  const std::size_t n_extra = o.extras.size();
+  std::vector<std::uint32_t> ex_group(n_extra), ex_hub(n_extra);
+  std::vector<std::uint32_t> ex_ptrack_h1(n_extra), ex_ptrack_h2(n_extra),
+      ex_ptrack_v(n_extra);
+  // Hub count trades horizontal-run overlap (fewer hubs = longer runs that
+  // all overlap at the hub) against vertical packing (more hubs = fewer
+  // vertical runs share a band). E/(4 t) hubs — about 4t extras per hub, a
+  // full track per layer group each — sits at or near the optimum across the
+  // families benchmarked in bench_folded/bench_butterfly/bench_cayley.
+  const std::uint32_t n_hubs =
+      opt.extra_hubs
+          ? std::min<std::uint32_t>(C, opt.extra_hubs)
+          : std::max<std::uint32_t>(
+                1, std::min<std::uint64_t>(C, n_extra / (4 * t_pair)));
+  const std::uint32_t stride = std::max<std::uint32_t>(1, C / n_hubs);
+  std::vector<std::vector<std::uint32_t>> hub_members(C);
+  for (std::size_t i = 0; i < n_extra; ++i) {
+    const Edge& ed = g.edge(o.extras[i].edge);
+    const std::uint32_t mid = (pl.col_of[ed.u] + pl.col_of[ed.v]) / 2;
+    ex_hub[i] =
+        std::min<std::uint32_t>(C - 1, mid / stride * stride + stride / 2);
+    hub_members[ex_hub[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Per hub, colour the vertical runs with one left-edge pass and derive
+  // both the layer group and the physical track from the colour — this packs
+  // the hub optimally instead of fragmenting it by a fixed group choice.
+  std::vector<std::uint32_t> extra_h_width(R, 0), extra_v_width(C, 0);
+  for (std::uint32_t hub = 0; hub < C; ++hub) {
+    const auto& members = hub_members[hub];
+    if (members.empty()) continue;
+    std::vector<Interval> ivs;
+    ivs.reserve(members.size());
+    for (std::uint32_t i : members) {
+      const Edge& ed = g.edge(o.extras[i].edge);
+      const std::uint32_t ru = pl.row_of[ed.u], rv = pl.row_of[ed.v];
+      ivs.push_back(
+          Interval{2 * std::min(ru, rv), 2 * std::max(ru, rv) + 2, i});
+    }
+    TrackAssignment ta;
+    if (opt.pack_extras) {
+      ta = assign_tracks_left_edge(ivs);
+    } else {
+      ta.num_tracks = static_cast<std::uint32_t>(ivs.size());
+      ta.track.resize(ivs.size());
+      for (std::size_t k = 0; k < ivs.size(); ++k)
+        ta.track[k] = static_cast<std::uint32_t>(k);
+    }
+    for (std::size_t k = 0; k < ivs.size(); ++k) {
+      const std::uint32_t i = ivs[k].tag;
+      ex_group[i] = ta.track[k] % t_pair;
+      ex_ptrack_v[i] = ta.track[k] / t_pair;
+    }
+    extra_v_width[hub] = (ta.num_tracks + t_pair - 1) / t_pair;
+  }
+
+  // Horizontal runs: pack per (row band, group), groups fixed above.
+  std::vector<std::vector<std::vector<Interval>>> row_ex(
+      R, std::vector<std::vector<Interval>>(t_pair));
+  for (std::size_t i = 0; i < n_extra; ++i) {
+    const Edge& ed = g.edge(o.extras[i].edge);
+    const auto tag = static_cast<std::uint32_t>(i);
+    const std::uint32_t hub_slot = 2 * ex_hub[i] + 1;
+    const std::uint32_t cu = pl.col_of[ed.u], cv = pl.col_of[ed.v];
+    row_ex[pl.row_of[ed.u]][ex_group[i]].push_back(
+        Interval{std::min(2 * cu, hub_slot), std::max(2 * cu, hub_slot) + 1,
+                 2 * tag});
+    row_ex[pl.row_of[ed.v]][ex_group[i]].push_back(
+        Interval{std::min(2 * cv, hub_slot), std::max(2 * cv, hub_slot) + 1,
+                 2 * tag + 1});
+  }
+  for (std::uint32_t b = 0; b < R; ++b) {
+    for (std::uint32_t gg = 0; gg < t_pair; ++gg) {
+      auto& ivs = row_ex[b][gg];
+      if (ivs.empty()) continue;
+      TrackAssignment ta;
+      if (opt.pack_extras) {
+        ta = assign_tracks_left_edge(ivs);
+      } else {
+        ta.num_tracks = static_cast<std::uint32_t>(ivs.size());
+        ta.track.resize(ivs.size());
+        for (std::size_t k = 0; k < ivs.size(); ++k)
+          ta.track[k] = static_cast<std::uint32_t>(k);
+      }
+      for (std::size_t k = 0; k < ivs.size(); ++k) {
+        const std::uint32_t tag = ivs[k].tag;
+        (tag % 2 ? ex_ptrack_h2 : ex_ptrack_h1)[tag / 2] = ta.track[k];
+      }
+      extra_h_width[b] = std::max(extra_h_width[b], ta.num_tracks);
+    }
+  }
+
+  // ---- Physical coordinates -------------------------------------------------
+  std::vector<std::uint32_t> base_h(R), base_v(C);
+  std::vector<std::uint32_t> band_y(R), node_y(R), node_x(C), band_x(C);
+  std::uint32_t y = 0;
+  std::uint32_t wiring_h = 0, wiring_w = 0;
+  for (std::uint32_t i = 0; i < R; ++i) {
+    base_h[i] = o.row_tracks[i] ? ceil_div(o.row_tracks[i], t_h) : 0;
+    const std::uint32_t wh = base_h[i] + extra_h_width[i];
+    band_y[i] = y;
+    node_y[i] = y + wh;
+    y = node_y[i] + S;
+    wiring_h += wh;
+  }
+  std::uint32_t x = 0;
+  for (std::uint32_t j = 0; j < C; ++j) {
+    base_v[j] = o.col_tracks[j] ? ceil_div(o.col_tracks[j], t_v) : 0;
+    const std::uint32_t wv = base_v[j] + extra_v_width[j];
+    node_x[j] = x;
+    band_x[j] = x + S;
+    x = band_x[j] + wv;
+    wiring_w += wv;
+  }
+
+  MultilayerLayout ml;
+  ml.L = L;
+  ml.groups_h = t_h;
+  ml.groups_v = t_v;
+  ml.wiring_width = wiring_w;
+  ml.wiring_height = wiring_h;
+  LayoutGeometry& geo = ml.geom;
+  geo.num_layers = static_cast<std::uint16_t>(L);
+  geo.width = x;
+  geo.height = y;
+
+  geo.boxes.reserve(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    geo.boxes.push_back(
+        NodeBox{node_x[pl.col_of[u]], node_y[pl.row_of[u]], S, S, u});
+
+  auto add_h = [&](std::uint32_t xa, std::uint32_t xb, std::uint32_t yy,
+                   std::uint16_t layer, EdgeId e) {
+    auto [lo, hi] = std::minmax(xa, xb);
+    geo.segs.push_back(WireSeg{lo, yy, hi, yy, layer, e});
+  };
+  auto add_v = [&](std::uint32_t xx, std::uint32_t ya, std::uint32_t yb,
+                   std::uint16_t layer, EdgeId e) {
+    auto [lo, hi] = std::minmax(ya, yb);
+    geo.segs.push_back(WireSeg{xx, lo, xx, hi, layer, e});
+  };
+  auto add_via = [&](std::uint32_t xx, std::uint32_t yy, std::uint32_t za,
+                     std::uint32_t zb, EdgeId e) {
+    if (za == zb) return;
+    geo.vias.push_back(Via{xx, yy, static_cast<std::uint16_t>(za),
+                           static_cast<std::uint16_t>(zb), e});
+    if (zb - za > 1 && za != 1) ml.required_rule = ViaRule::kTransparent;
+  };
+
+  std::size_t extra_idx = 0;
+  bool odd_group_used = false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    switch (o.kind[e]) {
+      case EdgeKind::kRow: {
+        const std::uint32_t row = pl.row_of[ed.u];
+        const std::uint32_t grp = o.track[e] % t_h;
+        const std::uint32_t pt = o.track[e] / t_h;
+        const std::uint32_t wy = band_y[row] + pt;
+        const std::uint16_t lh = static_cast<std::uint16_t>(2 * grp + 1);
+        const std::uint16_t lv = static_cast<std::uint16_t>(2 * grp + 2);
+        const std::uint32_t xu = node_x[pl.col_of[ed.u]] + top_offset(e, ed.u);
+        const std::uint32_t xv = node_x[pl.col_of[ed.v]] + top_offset(e, ed.v);
+        add_h(xu, xv, wy, lh, e);
+        add_v(xu, wy, node_y[row], lv, e);
+        add_v(xv, wy, node_y[row], lv, e);
+        add_via(xu, wy, lh, lv, e);
+        add_via(xv, wy, lh, lv, e);
+        add_via(xu, node_y[row], 1, lv, e);
+        add_via(xv, node_y[row], 1, lv, e);
+        break;
+      }
+      case EdgeKind::kCol: {
+        const std::uint32_t col = pl.col_of[ed.u];
+        const std::uint32_t grp = o.track[e] % t_v;
+        const std::uint32_t pt = o.track[e] / t_v;
+        const std::uint32_t wx = band_x[col] + pt;
+        std::uint16_t lwire, lriser;
+        if (grp < t_h) {
+          lriser = static_cast<std::uint16_t>(2 * grp + 1);
+          lwire = static_cast<std::uint16_t>(2 * grp + 2);
+        } else {
+          // Odd-L unpaired vertical group on the top layer; its junction vias
+          // span two boundaries (stacked-via rule).
+          lwire = static_cast<std::uint16_t>(L);
+          lriser = static_cast<std::uint16_t>(2 * t_h - 1);
+          odd_group_used = true;
+        }
+        const std::uint32_t yu =
+            node_y[pl.row_of[ed.u]] + right_offset(e, ed.u);
+        const std::uint32_t yv =
+            node_y[pl.row_of[ed.v]] + right_offset(e, ed.v);
+        const std::uint32_t xeu = node_x[col] + S - 1;
+        add_v(wx, yu, yv, lwire, e);
+        add_h(xeu, wx, yu, lriser, e);
+        add_h(xeu, wx, yv, lriser, e);
+        add_via(wx, yu, lriser, lwire, e);
+        add_via(wx, yv, lriser, lwire, e);
+        add_via(xeu, yu, 1, lriser, e);
+        add_via(xeu, yv, 1, lriser, e);
+        break;
+      }
+      case EdgeKind::kExtra: {
+        const std::uint32_t grp = ex_group[extra_idx];
+        const std::uint16_t lh = static_cast<std::uint16_t>(2 * grp + 1);
+        const std::uint16_t lv = static_cast<std::uint16_t>(2 * grp + 2);
+        const std::uint32_t ru = pl.row_of[ed.u], rv = pl.row_of[ed.v];
+        const std::uint32_t hub = ex_hub[extra_idx];
+        const std::uint32_t wy1 =
+            band_y[ru] + base_h[ru] + ex_ptrack_h1[extra_idx];
+        const std::uint32_t wy2 =
+            band_y[rv] + base_h[rv] + ex_ptrack_h2[extra_idx];
+        const std::uint32_t wx =
+            band_x[hub] + base_v[hub] + ex_ptrack_v[extra_idx];
+        const std::uint32_t xu =
+            node_x[pl.col_of[ed.u]] + top_offset(e, ed.u);
+        const std::uint32_t xv =
+            node_x[pl.col_of[ed.v]] + top_offset(e, ed.v);
+        add_v(xu, wy1, node_y[ru], lv, e);  // source riser
+        add_h(xu, wx, wy1, lh, e);          // run to the hub band
+        if (wy1 != wy2) add_v(wx, wy1, wy2, lv, e);  // hub vertical run
+        add_h(wx, xv, wy2, lh, e);          // run to the destination column
+        add_v(xv, wy2, node_y[rv], lv, e);  // destination riser
+        add_via(xu, node_y[ru], 1, lv, e);  // source terminal
+        add_via(xu, wy1, lh, lv, e);
+        add_via(wx, wy1, lh, lv, e);
+        if (wy1 != wy2) add_via(wx, wy2, lh, lv, e);
+        add_via(xv, wy2, lh, lv, e);
+        add_via(xv, node_y[rv], 1, lv, e);  // destination terminal
+        ++extra_idx;
+        break;
+      }
+    }
+  }
+  if (odd_group_used) ml.required_rule = ViaRule::kTransparent;
+  return ml;
+}
+
+}  // namespace mlvl

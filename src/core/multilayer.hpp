@@ -1,0 +1,71 @@
+// The multilayer transform (Sec. 2.4) — from an orthogonal 2-layer layout to
+// explicit L-layer geometry.
+//
+// Track partitioning follows the paper: the h_i horizontal tracks of a band
+// are split into t_h groups of at most ceil(h_i / t_h) tracks, one group per
+// horizontal wiring layer (odd layers 1, 3, ...); vertical tracks likewise on
+// even layers. Tracks of different groups share the same physical x/y
+// position, which is where the (L/2)^2 area reduction comes from.
+//
+// Routing discipline (our concrete realization; the checker verifies it):
+//  * group g pairs layers H_g = 2g+1 (horizontal) and V_g = 2g+2 (vertical);
+//    every turn via of a group-g wire spans exactly one layer boundary;
+//  * row edges rise from a top terminal of their node box; column edges
+//    leave from a right terminal; terminals are distinct per incident edge
+//    and ordered so that track-sharing wires abut without overlapping;
+//  * extra (L-shaped) links use dedicated track positions appended after the
+//    band's ordinary region, with the horizontal and vertical parts in the
+//    same group.
+//
+// Even L yields layouts valid under the strict multilayer grid model
+// (blocking vias). Odd L uses floor(L/2) horizontal and ceil(L/2) vertical
+// groups — the asymmetric split behind the paper's 1/(L^2-1) odd-L area — and
+// needs one class of stacked vias spanning two boundaries, so odd-L layouts
+// are valid under the stacked-via ("transparent") rule. The paper gives no
+// construction detail for odd L; see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+#include "core/geometry.hpp"
+#include "core/orthogonal.hpp"
+
+namespace mlvl {
+
+/// Via semantics for validity checking.
+enum class ViaRule : std::uint8_t {
+  /// A via occupies every grid point of its z-column (strict 3-D grid model).
+  kBlocking,
+  /// A via occupies only its two endpoint layers (stacked-via technology).
+  kTransparent,
+};
+
+struct RealizeOptions {
+  std::uint32_t L = 2;          ///< number of wiring layers, >= 2
+  std::uint32_t node_size = 0;  ///< box side; 0 = auto (max degree + 2)
+  bool pack_extras = true;      ///< pack extra links (false: one track each,
+                                ///< the paper's conservative accounting)
+  /// Number of hub column bands carrying the vertical runs of extra links;
+  /// 0 picks automatically. Fewer hubs pack vertical runs better (they share
+  /// tracks with y-disjoint peers) at the cost of longer horizontal runs.
+  std::uint32_t extra_hubs = 0;
+};
+
+struct MultilayerLayout {
+  std::uint32_t L = 2;
+  std::uint32_t groups_h = 1;  ///< horizontal layer groups (t in the paper)
+  std::uint32_t groups_v = 1;
+  LayoutGeometry geom;
+  /// Sum of band widths only — the track-dominated extent the paper's
+  /// closed forms count (node boxes excluded).
+  std::uint32_t wiring_width = 0;
+  std::uint32_t wiring_height = 0;
+  /// Strictest via rule under which this layout is valid by construction.
+  ViaRule required_rule = ViaRule::kBlocking;
+};
+
+/// Realize an orthogonal layout as explicit L-layer geometry.
+[[nodiscard]] MultilayerLayout realize(const Orthogonal2Layer& o,
+                                       const RealizeOptions& opt);
+
+}  // namespace mlvl

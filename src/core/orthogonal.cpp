@@ -1,0 +1,151 @@
+#include "core/orthogonal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlvl {
+
+EdgeId Orthogonal2Layer::add_extra_edge(NodeId u, NodeId v) {
+  const EdgeId e = graph.add_edge(u, v);
+  kind.push_back(EdgeKind::kExtra);
+  track.push_back(0);
+  extras.push_back(ExtraRoute{e, place.row_of[u], place.col_of[v]});
+  return e;
+}
+
+std::uint32_t Orthogonal2Layer::max_row_tracks() const {
+  return row_tracks.empty() ? 0 : *std::max_element(row_tracks.begin(), row_tracks.end());
+}
+
+std::uint32_t Orthogonal2Layer::max_col_tracks() const {
+  return col_tracks.empty() ? 0 : *std::max_element(col_tracks.begin(), col_tracks.end());
+}
+
+bool Orthogonal2Layer::is_valid() const {
+  const EdgeId m = graph.num_edges();
+  if (kind.size() != m || track.size() != m) return false;
+  if (!place.is_valid(graph.num_nodes())) return false;
+  if (row_tracks.size() != place.rows || col_tracks.size() != place.cols) return false;
+
+  // Rebuild per-band interval sets and verify assignments do not overlap.
+  std::vector<std::vector<Interval>> row_iv(place.rows), col_iv(place.cols);
+  std::vector<std::vector<std::uint32_t>> row_tr(place.rows), col_tr(place.cols);
+  std::uint32_t extra_count = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& ed = graph.edge(e);
+    switch (kind[e]) {
+      case EdgeKind::kRow: {
+        if (place.row_of[ed.u] != place.row_of[ed.v]) return false;
+        auto [lo, hi] = std::minmax(place.col_of[ed.u], place.col_of[ed.v]);
+        const std::uint32_t band = place.row_of[ed.u];
+        if (track[e] >= row_tracks[band]) return false;
+        row_iv[band].push_back(Interval{lo, hi, e});
+        row_tr[band].push_back(track[e]);
+        break;
+      }
+      case EdgeKind::kCol: {
+        if (place.col_of[ed.u] != place.col_of[ed.v]) return false;
+        auto [lo, hi] = std::minmax(place.row_of[ed.u], place.row_of[ed.v]);
+        const std::uint32_t band = place.col_of[ed.u];
+        if (track[e] >= col_tracks[band]) return false;
+        col_iv[band].push_back(Interval{lo, hi, e});
+        col_tr[band].push_back(track[e]);
+        break;
+      }
+      case EdgeKind::kExtra:
+        ++extra_count;
+        break;
+    }
+  }
+  if (extras.size() != extra_count) return false;
+  auto bands_ok = [](const std::vector<std::vector<Interval>>& ivs,
+                     const std::vector<std::vector<std::uint32_t>>& trs,
+                     const std::vector<std::uint32_t>& counts) {
+    for (std::size_t b = 0; b < ivs.size(); ++b) {
+      TrackAssignment ta;
+      ta.track = trs[b];
+      ta.num_tracks = counts[b];
+      if (!assignment_is_valid(ivs[b], ta)) return false;
+    }
+    return true;
+  };
+  return bands_ok(row_iv, row_tr, row_tracks) && bands_ok(col_iv, col_tr, col_tracks);
+}
+
+Orthogonal2Layer orthogonal_greedy(Graph g, Placement place) {
+  if (!place.is_valid(g.num_nodes()))
+    throw std::invalid_argument("orthogonal_greedy: bad placement");
+  Orthogonal2Layer o;
+  o.place = std::move(place);
+  o.kind.assign(g.num_edges(), EdgeKind::kExtra);
+  o.track.assign(g.num_edges(), 0);
+  o.row_tracks.assign(o.place.rows, 0);
+  o.col_tracks.assign(o.place.cols, 0);
+
+  std::vector<std::vector<Interval>> row_iv(o.place.rows), col_iv(o.place.cols);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const std::uint32_t ru = o.place.row_of[ed.u], rv = o.place.row_of[ed.v];
+    const std::uint32_t cu = o.place.col_of[ed.u], cv = o.place.col_of[ed.v];
+    if (ru == rv) {
+      o.kind[e] = EdgeKind::kRow;
+      auto [lo, hi] = std::minmax(cu, cv);
+      row_iv[ru].push_back(Interval{lo, hi, e});
+    } else if (cu == cv) {
+      o.kind[e] = EdgeKind::kCol;
+      auto [lo, hi] = std::minmax(ru, rv);
+      col_iv[cu].push_back(Interval{lo, hi, e});
+    } else {
+      o.extras.push_back(ExtraRoute{e, ru, cv});
+    }
+  }
+  auto assign = [&](std::vector<std::vector<Interval>>& ivs,
+                    std::vector<std::uint32_t>& counts) {
+    for (std::size_t b = 0; b < ivs.size(); ++b) {
+      if (ivs[b].empty()) continue;
+      TrackAssignment ta = assign_tracks_left_edge(ivs[b]);
+      counts[b] = ta.num_tracks;
+      for (std::size_t i = 0; i < ivs[b].size(); ++i)
+        o.track[ivs[b][i].tag] = ta.track[i];
+    }
+  };
+  assign(row_iv, o.row_tracks);
+  assign(col_iv, o.col_tracks);
+  o.graph = std::move(g);
+  return o;
+}
+
+Orthogonal2Layer compose_product(const CollinearResult& row_factor,
+                                 const CollinearResult& col_factor) {
+  const NodeId a = row_factor.graph.num_nodes();
+  const NodeId b = col_factor.graph.num_nodes();
+  const NodeId n = a * b;
+
+  Orthogonal2Layer o;
+  o.graph = Graph(n);
+  o.place = product_placement(n, a, row_factor.layout.pos, col_factor.layout.pos);
+  o.row_tracks.assign(b, row_factor.layout.num_tracks);
+  o.col_tracks.assign(a, col_factor.layout.num_tracks);
+
+  // Row-factor edges replicated in every row; tracks from the factor layout.
+  for (NodeId hi = 0; hi < b; ++hi) {
+    for (EdgeId e = 0; e < row_factor.graph.num_edges(); ++e) {
+      const Edge& ed = row_factor.graph.edge(e);
+      o.graph.add_edge(hi * a + ed.u, hi * a + ed.v);
+      o.kind.push_back(EdgeKind::kRow);
+      o.track.push_back(row_factor.layout.edge_track[e]);
+    }
+  }
+  // Column-factor edges replicated in every column.
+  for (NodeId lo = 0; lo < a; ++lo) {
+    for (EdgeId e = 0; e < col_factor.graph.num_edges(); ++e) {
+      const Edge& ed = col_factor.graph.edge(e);
+      o.graph.add_edge(ed.u * a + lo, ed.v * a + lo);
+      o.kind.push_back(EdgeKind::kCol);
+      o.track.push_back(col_factor.layout.edge_track[e]);
+    }
+  }
+  return o;
+}
+
+}  // namespace mlvl

@@ -1,0 +1,69 @@
+// Orthogonal 2-layer layouts (Sec. 2.4).
+//
+// An orthogonal layout places nodes on a 2-D grid such that every ordinary
+// edge connects two nodes of the same row or the same column. Row edges are
+// routed in the horizontal band above their row; column edges in the vertical
+// band right of their column. Edges violating the row/column property
+// ("extra links": folded-hypercube diameter links, enhanced-cube links) take
+// an L-shaped route through one row band and one column band.
+//
+// This structure is the input of the multilayer transform: track counts here
+// are the h_i / w_j of the paper, and the transform compresses each band by
+// the number of layer groups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/collinear.hpp"
+#include "core/graph.hpp"
+#include "core/placement.hpp"
+
+namespace mlvl {
+
+enum class EdgeKind : std::uint8_t { kRow, kCol, kExtra };
+
+/// Band choice for an L-shaped extra link: horizontal in the band above
+/// `hband`, vertical in the band right of `vband`. Track/group selection
+/// happens at multilayer-realize time (it is layer-group aware).
+struct ExtraRoute {
+  EdgeId edge = 0;
+  std::uint32_t hband = 0;  ///< row band index (the source node's row)
+  std::uint32_t vband = 0;  ///< column band index (the target node's column)
+};
+
+struct Orthogonal2Layer {
+  Graph graph;
+  Placement place;
+  std::vector<EdgeKind> kind;          ///< per edge
+  std::vector<std::uint32_t> track;    ///< per edge; meaningful for row/col edges
+  std::vector<std::uint32_t> row_tracks;  ///< h_i per row band (row/col edges only)
+  std::vector<std::uint32_t> col_tracks;  ///< w_j per column band
+  std::vector<ExtraRoute> extras;
+
+  /// Append an extra (non row/column) edge after construction; it will be
+  /// routed L-shaped through u's row band and v's column band.
+  EdgeId add_extra_edge(NodeId u, NodeId v);
+
+  /// Max track count over all bands, the paper's h_i / w_j.
+  [[nodiscard]] std::uint32_t max_row_tracks() const;
+  [[nodiscard]] std::uint32_t max_col_tracks() const;
+
+  /// Structural sanity (sizes, track overlap-freedom per band). For tests.
+  [[nodiscard]] bool is_valid() const;
+};
+
+/// Classify edges by the placement and assign tracks with the optimal
+/// left-edge algorithm independently per band. Edges that are neither row nor
+/// column edges become extra links.
+[[nodiscard]] Orthogonal2Layer orthogonal_greedy(Graph g, Placement place);
+
+/// Compose the product of two factor collinear layouts (Sec. 3.2): the
+/// product graph has node id `hi * |row_factor| + lo`; each physical row is
+/// wired as `row_factor` with its constructive tracks, each physical column
+/// as `col_factor`. This is the paper's construction for k-ary n-cubes,
+/// hypercubes and generalized hypercubes.
+[[nodiscard]] Orthogonal2Layer compose_product(const CollinearResult& row_factor,
+                                               const CollinearResult& col_factor);
+
+}  // namespace mlvl

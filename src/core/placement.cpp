@@ -1,0 +1,39 @@
+#include "core/placement.hpp"
+
+#include <stdexcept>
+
+namespace mlvl {
+
+bool Placement::is_valid(NodeId num_nodes) const {
+  if (row_of.size() != num_nodes || col_of.size() != num_nodes) return false;
+  std::vector<bool> used(static_cast<std::size_t>(rows) * cols, false);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (row_of[u] >= rows || col_of[u] >= cols) return false;
+    const std::size_t cell = static_cast<std::size_t>(row_of[u]) * cols + col_of[u];
+    if (used[cell]) return false;  // one node per grid cell
+    used[cell] = true;
+  }
+  return true;
+}
+
+Placement product_placement(NodeId num_nodes, std::uint32_t low_size,
+                            const std::vector<std::uint32_t>& low_pos,
+                            const std::vector<std::uint32_t>& high_pos) {
+  if (low_size == 0 || num_nodes % low_size != 0)
+    throw std::invalid_argument("product_placement: low_size must divide N");
+  const std::uint32_t high_size = num_nodes / low_size;
+  if (low_pos.size() != low_size || high_pos.size() != high_size)
+    throw std::invalid_argument("product_placement: factor position size mismatch");
+  Placement p;
+  p.rows = high_size;
+  p.cols = low_size;
+  p.row_of.resize(num_nodes);
+  p.col_of.resize(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    p.row_of[u] = high_pos[u / low_size];
+    p.col_of[u] = low_pos[u % low_size];
+  }
+  return p;
+}
+
+}  // namespace mlvl

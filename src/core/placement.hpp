@@ -1,0 +1,34 @@
+// Node placements on the 2-D cluster grid (Sec. 3.1).
+//
+// A placement maps every node to a physical (row, column) of the layout grid.
+// For product networks the paper splits the digit string of a node label into
+// a high part (row) and a low part (column); the physical coordinate is the
+// collinear position of that part in the corresponding factor layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace mlvl {
+
+struct Placement {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::uint32_t> row_of;  ///< node -> physical row
+  std::vector<std::uint32_t> col_of;  ///< node -> physical column
+
+  [[nodiscard]] bool is_valid(NodeId num_nodes) const;
+};
+
+/// Placement for a product label space: node = hi * low_size + lo, where the
+/// low part indexes the row factor (horizontal, giving the column coordinate)
+/// and the high part indexes the column factor (vertical). `low_pos` and
+/// `high_pos` are the collinear positions of the factor layouts.
+[[nodiscard]] Placement product_placement(
+    NodeId num_nodes, std::uint32_t low_size,
+    const std::vector<std::uint32_t>& low_pos,
+    const std::vector<std::uint32_t>& high_pos);
+
+}  // namespace mlvl

@@ -1,0 +1,63 @@
+#include "core/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mlvl {
+namespace {
+
+/// Distinct colours per layer (cycled); chosen to read on white.
+const char* layer_color(std::uint16_t layer) {
+  static const char* kColors[] = {"#1664c8", "#c83214", "#0f8a3c", "#b27300",
+                                  "#7a28b4", "#0e7f8a", "#b4287a", "#556b2f"};
+  return kColors[(layer - 1) % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+}  // namespace
+
+std::string render_svg(const LayoutGeometry& geom, const SvgOptions& opt) {
+  const double c = opt.cell;
+  std::ostringstream ss;
+  ss << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+     << (geom.width + 1) * c << "' height='" << (geom.height + 1) * c
+     << "' viewBox='-" << c / 2 << " -" << c / 2 << " " << (geom.width + 1) * c
+     << " " << (geom.height + 1) * c << "'>\n";
+  ss << "<rect x='-" << c / 2 << "' y='-" << c / 2 << "' width='"
+     << (geom.width + 1) * c << "' height='" << (geom.height + 1) * c
+     << "' fill='white'/>\n";
+
+  for (const NodeBox& b : geom.boxes) {
+    ss << "<rect x='" << b.x * c << "' y='" << b.y * c << "' width='"
+       << (b.w - 1) * c << "' height='" << (b.h - 1) * c
+       << "' fill='#e8e8e8' stroke='#444' stroke-width='1'/>\n";
+    if (opt.label_nodes) {
+      ss << "<text x='" << (b.x + (b.w - 1) / 2.0) * c << "' y='"
+         << (b.y + (b.h - 1) / 2.0) * c + 4
+         << "' font-size='" << c
+         << "' text-anchor='middle' fill='#222'>" << b.node << "</text>\n";
+    }
+  }
+  for (const WireSeg& s : geom.segs) {
+    ss << "<line x1='" << s.x1 * c << "' y1='" << s.y1 * c << "' x2='"
+       << s.x2 * c << "' y2='" << s.y2 * c << "' stroke='"
+       << layer_color(s.layer) << "' stroke-width='2'/>\n";
+  }
+  if (opt.draw_vias) {
+    for (const Via& v : geom.vias) {
+      ss << "<circle cx='" << v.x * c << "' cy='" << v.y * c << "' r='"
+         << c / 4 << "' fill='#222'/>\n";
+    }
+  }
+  ss << "</svg>\n";
+  return ss.str();
+}
+
+bool write_svg(const LayoutGeometry& geom, const std::string& path,
+               const SvgOptions& opt) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render_svg(geom, opt);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mlvl

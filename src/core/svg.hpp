@@ -1,0 +1,25 @@
+// SVG rendering of layout geometry. Layers are colour-coded; vias are dots.
+// Used by the figure gallery example to regenerate the paper's diagrams.
+#pragma once
+
+#include <string>
+
+#include "core/geometry.hpp"
+
+namespace mlvl {
+
+struct SvgOptions {
+  double cell = 10.0;        ///< pixels per grid pitch
+  bool draw_vias = true;
+  bool label_nodes = true;
+};
+
+/// Render geometry to an SVG document string.
+[[nodiscard]] std::string render_svg(const LayoutGeometry& geom,
+                                     const SvgOptions& opt = {});
+
+/// Render and write to `path`. Returns false on I/O failure.
+bool write_svg(const LayoutGeometry& geom, const std::string& path,
+               const SvgOptions& opt = {});
+
+}  // namespace mlvl

@@ -1,0 +1,51 @@
+#include "layout/butterfly_layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/collinear.hpp"
+#include "topology/butterfly.hpp"
+
+namespace mlvl::layout {
+
+Orthogonal2Layer layout_butterfly(std::uint32_t k, std::uint32_t b) {
+  if (k < 2) throw std::invalid_argument("layout_butterfly: k >= 2");
+  b = std::min(b, k - 1);
+  topo::Butterfly bf = topo::make_wrapped_butterfly(k);
+  const std::uint32_t kq = k - b;  // quotient hypercube dimensions
+  const std::uint32_t q_low = kq / 2;
+  const std::uint32_t cluster_rows = 1u << b;
+
+  const CollinearResult low =
+      q_low ? collinear_hypercube(q_low) : CollinearResult{};
+  const CollinearResult high =
+      kq > q_low ? collinear_hypercube(kq - q_low) : CollinearResult{};
+
+  // Each cluster is one horizontal strip of cluster_rows * num_levels cells,
+  // so every intra-cluster edge and every row-split quotient edge lies in a
+  // single physical row (cf. the CCC layout); only the column-split quotient
+  // cross edges need L-shaped extra routes (their level offset of one keeps
+  // them off a shared column).
+  const std::uint32_t strip = cluster_rows * bf.num_levels;
+  Placement p;
+  p.rows = kq > q_low ? (1u << (kq - q_low)) : 1;
+  p.cols = (q_low ? (1u << q_low) : 1) * strip;
+  p.row_of.resize(bf.graph.num_nodes());
+  p.col_of.resize(bf.graph.num_nodes());
+  for (std::uint32_t r = 0; r < bf.rows; ++r) {
+    const std::uint32_t sub = r & (cluster_rows - 1);
+    const std::uint32_t q = r >> b;
+    const std::uint32_t qlo = q & ((1u << q_low) - 1);
+    const std::uint32_t qhi = q >> q_low;
+    const std::uint32_t qcol = q_low ? low.layout.pos[qlo] : 0;
+    const std::uint32_t qrow = kq > q_low ? high.layout.pos[qhi] : 0;
+    for (std::uint32_t l = 0; l < bf.num_levels; ++l) {
+      const NodeId u = bf.id(l, r);
+      p.row_of[u] = qrow;
+      p.col_of[u] = qcol * strip + sub * bf.num_levels + l;
+    }
+  }
+  return orthogonal_greedy(std::move(bf.graph), std::move(p));
+}
+
+}  // namespace mlvl::layout

@@ -1,0 +1,22 @@
+// Sec. 4.2 — butterfly networks laid out as quotient clusters.
+//
+// Rows are grouped into clusters of cluster_rows = 2^b consecutive-by-low-
+// bits rows; a cluster cell holds cluster_rows sub-rows by num_levels
+// sub-columns. Contracting clusters yields a (k-b)-dimensional binary
+// hypercube quotient with multiplicity cluster_rows per quotient edge, which
+// the per-band track assignment handles directly. Straight edges and cross
+// edges on row-split quotient bits stay row edges; intra-cluster cross edges
+// and column-split cross edges route as (short) extra links.
+#pragma once
+
+#include <cstdint>
+
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+/// Wrapped-butterfly layout. k >= 2; 2^b rows per cluster, b < k.
+[[nodiscard]] Orthogonal2Layer layout_butterfly(std::uint32_t k,
+                                                std::uint32_t b = 2);
+
+}  // namespace mlvl::layout

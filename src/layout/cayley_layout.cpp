@@ -1,0 +1,47 @@
+#include "layout/cayley_layout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "topology/cayley.hpp"
+
+namespace mlvl::layout {
+
+Orthogonal2Layer layout_star_structured(std::uint32_t n) {
+  return layout_perm_clustered(topo::make_star_graph(n), n);
+}
+
+Orthogonal2Layer layout_perm_clustered(Graph g, std::uint32_t n) {
+  if (n < 3 || n > 7)
+    throw std::invalid_argument("layout_perm_clustered: 3 <= n <= 7");
+  const auto N = static_cast<NodeId>(topo::factorial(n));
+  if (g.num_nodes() != N)
+    throw std::invalid_argument(
+        "layout_perm_clustered: graph is not over n-symbol permutations");
+  const auto cluster_size = static_cast<NodeId>(topo::factorial(n - 1));
+
+  // Cluster = permutations sharing the last symbol; member index by rank
+  // order within the cluster.
+  std::vector<std::uint32_t> cluster(N), member(N);
+  std::vector<std::uint32_t> counter(n, 0);
+  for (NodeId u = 0; u < N; ++u) {
+    const std::uint32_t c = topo::perm_unrank(u, n)[n - 1];
+    cluster[u] = c;
+    member[u] = counter[c]++;
+  }
+
+  const auto w = static_cast<std::uint32_t>(
+      std::lround(std::ceil(std::sqrt(double(n)))));
+  Placement p;
+  p.cols = w * cluster_size;
+  p.rows = (n + w - 1) / w;
+  p.row_of.resize(N);
+  p.col_of.resize(N);
+  for (NodeId u = 0; u < N; ++u) {
+    p.row_of[u] = cluster[u] / w;
+    p.col_of[u] = (cluster[u] % w) * cluster_size + member[u];
+  }
+  return orthogonal_greedy(std::move(g), std::move(p));
+}
+
+}  // namespace mlvl::layout

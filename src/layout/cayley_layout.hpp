@@ -1,0 +1,28 @@
+// Structured multilayer layout for star graphs (Sec. 4.3's closing remark:
+// "we can use similar strategies to obtain efficient multilayer layouts for
+// star graphs and other Cayley graphs").
+//
+// The star graph S_n partitions into n copies of S_{n-1} by the symbol in
+// the last position; the dimension-(n-1) generator links every copy pair
+// with (n-2)! parallel links, so the quotient is a complete graph K_n — the
+// same shape as a 2-level HSN. We reuse that treatment: clusters are
+// rank-ordered strips arranged on a near-square grid; intra-cluster edges
+// are row edges, inter-cluster links route as extras.
+#pragma once
+
+#include <cstdint>
+
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+/// Structured layout of the n-star graph (3 <= n <= 7).
+[[nodiscard]] Orthogonal2Layer layout_star_structured(std::uint32_t n);
+
+/// Generic "cluster by last symbol" layout for any Cayley graph over
+/// lexicographically-ranked permutations of n symbols (star, pancake,
+/// bubble-sort, transposition, ...): most generators fix the last symbol,
+/// so clusters are large and mostly internally wired. 3 <= n <= 7.
+[[nodiscard]] Orthogonal2Layer layout_perm_clustered(Graph g, std::uint32_t n);
+
+}  // namespace mlvl::layout

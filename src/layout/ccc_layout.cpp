@@ -1,0 +1,49 @@
+#include "layout/ccc_layout.hpp"
+
+#include "core/collinear.hpp"
+#include "topology/ccc.hpp"
+#include "topology/reduced_hypercube.hpp"
+
+namespace mlvl::layout {
+namespace {
+
+/// Placement for a hypercube-quotient cluster network with 1 x c strips:
+/// quotient node w (2^n of them) sits at (row, col-block) via the Sec. 5.1
+/// digit split; cluster position i lands in column qcol * c + i.
+Placement strip_placement(std::uint32_t n, std::uint32_t c, NodeId num_nodes) {
+  const std::uint32_t n_low = n / 2;
+  const CollinearResult low =
+      n_low ? collinear_hypercube(n_low) : CollinearResult{};
+  const CollinearResult high = collinear_hypercube(n - n_low);
+  const std::uint32_t low_size = 1u << n_low;
+
+  Placement p;
+  p.rows = 1u << (n - n_low);
+  p.cols = low_size * c;
+  p.row_of.resize(num_nodes);
+  p.col_of.resize(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const std::uint32_t w = u / c, i = u % c;
+    const std::uint32_t wlo = w & (low_size - 1), whi = w >> n_low;
+    const std::uint32_t qcol = n_low ? low.layout.pos[wlo] : 0;
+    p.row_of[u] = high.layout.pos[whi];
+    p.col_of[u] = qcol * c + i;
+  }
+  return p;
+}
+
+}  // namespace
+
+Orthogonal2Layer layout_ccc(std::uint32_t n) {
+  topo::Ccc c = topo::make_ccc(n);
+  Placement p = strip_placement(n, n, c.graph.num_nodes());
+  return orthogonal_greedy(std::move(c.graph), std::move(p));
+}
+
+Orthogonal2Layer layout_reduced_hypercube(std::uint32_t n) {
+  topo::ReducedHypercube rh = topo::make_reduced_hypercube(n);
+  Placement p = strip_placement(n, n, rh.graph.num_nodes());
+  return orthogonal_greedy(std::move(rh.graph), std::move(p));
+}
+
+}  // namespace mlvl::layout

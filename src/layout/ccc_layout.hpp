@@ -1,0 +1,21 @@
+// Sec. 5.2 — cube-connected cycles and reduced hypercubes as hypercube
+// clusters (the recursive grid layout scheme, flattened).
+//
+// Each cycle (or intra-cluster hypercube) is placed as a 1 x n strip inside
+// its quotient cell; the quotient hypercube uses the digit-split placement of
+// Sec. 5.1. Every cycle edge then lies in a single row and every cube edge in
+// a single row or column, so the flattened network is a pure orthogonal
+// layout (no extra links) and track assignment is the per-band optimum.
+#pragma once
+
+#include <cstdint>
+
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+[[nodiscard]] Orthogonal2Layer layout_ccc(std::uint32_t n);
+
+[[nodiscard]] Orthogonal2Layer layout_reduced_hypercube(std::uint32_t n);
+
+}  // namespace mlvl::layout

@@ -1,0 +1,56 @@
+#include "layout/cluster_layout.hpp"
+
+#include <bit>
+
+#include "core/collinear.hpp"
+
+namespace mlvl::layout {
+
+Orthogonal2Layer layout_kary_cluster(std::uint32_t k, std::uint32_t n,
+                                     std::uint32_t c, topo::ClusterKind kind) {
+  topo::KaryCluster kc = topo::make_kary_cluster(k, n, c, kind);
+  const std::uint32_t n_low = n / 2;
+
+  const CollinearResult qlow =
+      n_low ? collinear_kary(k, n_low) : CollinearResult{};
+  const CollinearResult qhigh = collinear_kary(k, n - n_low);
+  std::uint64_t low_size = 1;
+  for (std::uint32_t i = 0; i < n_low; ++i) low_size *= k;
+
+  // Cluster sub-grid: hypercube clusters split their dimensions like
+  // Sec. 5.1 (sub_cols x sub_rows); complete clusters are a 1 x c strip.
+  std::uint32_t sub_rows = 1, sub_cols = c;
+  std::vector<std::uint32_t> sr(c, 0), sc(c);
+  if (kind == topo::ClusterKind::kHypercube && c >= 4) {
+    const std::uint32_t m = std::bit_width(c) - 1;
+    const std::uint32_t m_low = m / 2;
+    const CollinearResult clow = collinear_hypercube(m_low);
+    const CollinearResult chigh = collinear_hypercube(m - m_low);
+    sub_cols = 1u << m_low;
+    sub_rows = 1u << (m - m_low);
+    for (std::uint32_t i = 0; i < c; ++i) {
+      sr[i] = chigh.layout.pos[i >> m_low];
+      sc[i] = clow.layout.pos[i & (sub_cols - 1)];
+    }
+  } else {
+    for (std::uint32_t i = 0; i < c; ++i) sc[i] = i;
+  }
+
+  Placement p;
+  p.rows = qhigh.graph.num_nodes() * sub_rows;
+  p.cols = static_cast<std::uint32_t>(low_size) * sub_cols;
+  p.row_of.resize(kc.graph.num_nodes());
+  p.col_of.resize(kc.graph.num_nodes());
+  for (NodeId u = 0; u < kc.graph.num_nodes(); ++u) {
+    const NodeId w = u / c;
+    const std::uint32_t i = u % c;
+    const std::uint32_t wlo = static_cast<std::uint32_t>(w % low_size);
+    const std::uint32_t whi = static_cast<std::uint32_t>(w / low_size);
+    const std::uint32_t qcol = n_low ? qlow.layout.pos[wlo] : 0;
+    p.row_of[u] = qhigh.layout.pos[whi] * sub_rows + sr[i];
+    p.col_of[u] = qcol * sub_cols + sc[i];
+  }
+  return orthogonal_greedy(std::move(kc.graph), std::move(p));
+}
+
+}  // namespace mlvl::layout

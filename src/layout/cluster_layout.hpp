@@ -1,0 +1,27 @@
+// Sec. 3.2 — PN clusters: k-ary n-cube cluster-c via the recursive grid
+// scheme, flattened into one orthogonal layout.
+//
+// The quotient k-ary n-cube uses the Sec. 3.1 digit split; each cluster
+// occupies a sub-grid inside its quotient cell (a collinear-placed sub-grid
+// for hypercube clusters, a 1 x c strip for complete-graph clusters).
+// Because every inter-cluster channel attaches at the same cluster position
+// on both sides, all channels remain row/column edges — no extra links.
+//
+// This module also backs the "optimally scalable" node-size experiments: the
+// cluster sub-grid is exactly the mechanism that lets a network node occupy
+// o(Area/N) area without changing the layout's leading constants.
+#pragma once
+
+#include <cstdint>
+
+#include "core/orthogonal.hpp"
+#include "topology/kary_cluster.hpp"
+
+namespace mlvl::layout {
+
+[[nodiscard]] Orthogonal2Layer layout_kary_cluster(std::uint32_t k,
+                                                   std::uint32_t n,
+                                                   std::uint32_t c,
+                                                   topo::ClusterKind kind);
+
+}  // namespace mlvl::layout

@@ -1,0 +1,43 @@
+#include "layout/folded_hc_layout.hpp"
+
+#include <stdexcept>
+
+#include "layout/hypercube_layout.hpp"
+
+namespace mlvl::layout {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Orthogonal2Layer layout_folded_hypercube(std::uint32_t n) {
+  Orthogonal2Layer o = layout_hypercube(n);
+  const NodeId N = o.graph.num_nodes();
+  const NodeId mask = N - 1;
+  for (NodeId u = 0; u < N; ++u) {
+    const NodeId v = u ^ mask;
+    if (u < v) o.add_extra_edge(u, v);
+  }
+  return o;
+}
+
+Orthogonal2Layer layout_enhanced_cube(std::uint32_t n, std::uint64_t seed) {
+  Orthogonal2Layer o = layout_hypercube(n);
+  const NodeId N = o.graph.num_nodes();
+  std::uint64_t state = seed;
+  for (NodeId u = 0; u < N; ++u) {
+    NodeId v = u;
+    while (v == u) v = static_cast<NodeId>(splitmix64(state) % N);
+    o.add_extra_edge(u, v);
+  }
+  return o;
+}
+
+}  // namespace mlvl::layout

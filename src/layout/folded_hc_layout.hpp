@@ -1,0 +1,18 @@
+// Sec. 5.3 — folded hypercubes and enhanced cubes: the hypercube layout of
+// Sec. 5.1 plus one L-shaped extra track pair per additional link.
+#pragma once
+
+#include <cstdint>
+
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+/// Hypercube layout with the N/2 diameter links added as extra links.
+[[nodiscard]] Orthogonal2Layer layout_folded_hypercube(std::uint32_t n);
+
+/// Hypercube layout with one seeded-random extra link per node (N extras).
+[[nodiscard]] Orthogonal2Layer layout_enhanced_cube(std::uint32_t n,
+                                                    std::uint64_t seed);
+
+}  // namespace mlvl::layout

@@ -1,0 +1,24 @@
+#include "layout/generic_layout.hpp"
+
+#include <cmath>
+
+namespace mlvl::layout {
+
+Orthogonal2Layer layout_generic(Graph g, std::uint32_t cols) {
+  const NodeId n = g.num_nodes();
+  if (cols == 0)
+    cols = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(std::sqrt(double(n)))));
+  Placement p;
+  p.cols = cols;
+  p.rows = (n + cols - 1) / cols;
+  p.row_of.resize(n);
+  p.col_of.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    p.row_of[u] = u / cols;
+    p.col_of[u] = u % cols;
+  }
+  return orthogonal_greedy(std::move(g), std::move(p));
+}
+
+}  // namespace mlvl::layout

@@ -1,0 +1,19 @@
+// Generic orthogonal multilayer layout for arbitrary graphs (Sec. 2.4
+// applied without family structure) — used for the Cayley-graph networks
+// whose dedicated constructions the paper defers.
+//
+// Nodes are placed on a near-square grid; edges that happen to share a row
+// or column are routed in bands, everything else as L-shaped extra links.
+// All multilayer benefits (track sharing across layer groups) still apply.
+#pragma once
+
+#include <cstdint>
+
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+/// Place node u at (u / cols, u % cols); cols == 0 picks ~sqrt(N).
+[[nodiscard]] Orthogonal2Layer layout_generic(Graph g, std::uint32_t cols = 0);
+
+}  // namespace mlvl::layout

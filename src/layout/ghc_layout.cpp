@@ -1,0 +1,45 @@
+#include "layout/ghc_layout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "topology/complete.hpp"
+
+namespace mlvl::layout {
+
+Orthogonal2Layer layout_ghc(const std::vector<std::uint32_t>& radices) {
+  const auto n = static_cast<std::uint32_t>(radices.size());
+  if (n < 1) throw std::invalid_argument("layout_ghc: empty radices");
+  const std::uint32_t n_low = n / 2;
+  if (n_low == 0) {
+    // One dimension is a complete graph; a 1-D (collinear) split cannot
+    // compress both directions with L, so place the nodes on a near-square
+    // grid. Same-row/column pairs are band edges; diagonal pairs become
+    // L-shaped extra links spread over both directions' layer groups.
+    const std::uint32_t r = radices[0];
+    const auto w = static_cast<std::uint32_t>(
+        std::lround(std::ceil(std::sqrt(double(r)))));
+    Graph g = topo::make_complete(r);
+    Placement p;
+    p.cols = w;
+    p.rows = (r + w - 1) / w;
+    p.row_of.resize(r);
+    p.col_of.resize(r);
+    for (NodeId u = 0; u < r; ++u) {
+      p.row_of[u] = u / w;
+      p.col_of[u] = u % w;
+    }
+    return orthogonal_greedy(std::move(g), std::move(p));
+  }
+  CollinearResult row = collinear_ghc(
+      std::vector<std::uint32_t>(radices.begin(), radices.begin() + n_low));
+  CollinearResult col = collinear_ghc(
+      std::vector<std::uint32_t>(radices.begin() + n_low, radices.end()));
+  return compose_product(row, col);
+}
+
+Orthogonal2Layer layout_ghc(std::uint32_t r, std::uint32_t n) {
+  return layout_ghc(std::vector<std::uint32_t>(n, r));
+}
+
+}  // namespace mlvl::layout

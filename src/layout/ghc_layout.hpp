@@ -1,0 +1,17 @@
+// Sec. 4.1 — multilayer layout of generalized hypercubes (mixed radix).
+#pragma once
+
+#include <vector>
+
+#include "core/collinear.hpp"
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+/// Rows carry the low floor(n/2) dimensions, columns the rest, per Sec. 4.1.
+[[nodiscard]] Orthogonal2Layer layout_ghc(const std::vector<std::uint32_t>& radices);
+
+/// Uniform radix convenience.
+[[nodiscard]] Orthogonal2Layer layout_ghc(std::uint32_t r, std::uint32_t n);
+
+}  // namespace mlvl::layout

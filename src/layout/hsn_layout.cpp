@@ -1,0 +1,72 @@
+#include "layout/hsn_layout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/collinear.hpp"
+#include "topology/hsn.hpp"
+#include "topology/hypercube.hpp"
+
+namespace mlvl::layout {
+
+Orthogonal2Layer layout_hsn(std::uint32_t levels, const Graph& nucleus) {
+  topo::Hsn h = topo::make_hsn(levels, nucleus);
+  const std::uint32_t r = h.r;
+  const std::uint32_t qdims = levels - 1;
+
+  if (qdims == 1) {
+    // The quotient is a single complete graph K_M (M = r). A 1-D split
+    // cannot compress both directions with L, so arrange the clusters on a
+    // near-square grid; same-row links stay row edges and the rest become
+    // L-shaped extra links, which the multilayer transform spreads over both
+    // directions' layer groups.
+    const std::uint32_t M = r;
+    const auto w = static_cast<std::uint32_t>(
+        std::lround(std::ceil(std::sqrt(double(M)))));
+    Placement p;
+    p.cols = w * r;
+    p.rows = (M + w - 1) / w;
+    p.row_of.resize(h.graph.num_nodes());
+    p.col_of.resize(h.graph.num_nodes());
+    for (NodeId u = 0; u < h.graph.num_nodes(); ++u) {
+      const NodeId cluster = u / r;
+      p.row_of[u] = cluster / w;
+      p.col_of[u] = (cluster % w) * r + u % r;
+    }
+    return orthogonal_greedy(std::move(h.graph), std::move(p));
+  }
+
+  const std::uint32_t q_low = qdims / 2;
+
+  const CollinearResult low =
+      q_low ? collinear_ghc(std::vector<std::uint32_t>(q_low, r))
+            : CollinearResult{};
+  const CollinearResult high =
+      qdims > q_low
+          ? collinear_ghc(std::vector<std::uint32_t>(qdims - q_low, r))
+          : CollinearResult{};
+  std::uint64_t low_size = 1;
+  for (std::uint32_t i = 0; i < q_low; ++i) low_size *= r;
+
+  Placement p;
+  p.rows = qdims > q_low ? high.graph.num_nodes() : 1;
+  p.cols = static_cast<std::uint32_t>(low_size) * r;
+  p.row_of.resize(h.graph.num_nodes());
+  p.col_of.resize(h.graph.num_nodes());
+  for (NodeId u = 0; u < h.graph.num_nodes(); ++u) {
+    const NodeId cluster = u / r;
+    const std::uint32_t a1 = u % r;
+    const std::uint32_t clo = cluster % low_size;
+    const std::uint32_t chi = cluster / low_size;
+    const std::uint32_t qcol = q_low ? low.layout.pos[clo] : 0;
+    p.row_of[u] = qdims > q_low ? high.layout.pos[chi] : 0;
+    p.col_of[u] = qcol * r + a1;
+  }
+  return orthogonal_greedy(std::move(h.graph), std::move(p));
+}
+
+Orthogonal2Layer layout_hhn(std::uint32_t levels, std::uint32_t m) {
+  return layout_hsn(levels, topo::make_hypercube(m));
+}
+
+}  // namespace mlvl::layout

@@ -1,0 +1,25 @@
+// Sec. 4.3 — hierarchical swap networks (and HHNs) laid out over the
+// generalized-hypercube quotient.
+//
+// Each r-node nucleus is a 1 x r strip inside its quotient cell; the quotient
+// (l-1)-dimensional radix-r GHC uses the Sec. 4.1 digit split. Swap links
+// whose quotient edge is a row edge stay row edges (the strip keeps whole
+// clusters in one physical row); column-digit swap links attach at different
+// in-strip offsets and are routed as L-shaped extra links, which the
+// multilayer transform packs group-aware.
+#pragma once
+
+#include <cstdint>
+
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+/// HSN over an arbitrary nucleus graph.
+[[nodiscard]] Orthogonal2Layer layout_hsn(std::uint32_t levels,
+                                          const Graph& nucleus);
+
+/// HHN: nucleus is an m-dimensional hypercube.
+[[nodiscard]] Orthogonal2Layer layout_hhn(std::uint32_t levels, std::uint32_t m);
+
+}  // namespace mlvl::layout

@@ -1,0 +1,16 @@
+#include "layout/hypercube_layout.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::layout {
+
+Orthogonal2Layer layout_hypercube(std::uint32_t n) {
+  if (n < 2)
+    throw std::invalid_argument("layout_hypercube: n >= 2 required");
+  const std::uint32_t n_low = n / 2;
+  CollinearResult row = collinear_hypercube(n_low);
+  CollinearResult col = collinear_hypercube(n - n_low);
+  return compose_product(row, col);
+}
+
+}  // namespace mlvl::layout

@@ -1,0 +1,12 @@
+// Sec. 5.1 — multilayer layout of binary hypercubes using the
+// floor(2N/3)-track collinear factors (Fig. 4 basis).
+#pragma once
+
+#include "core/collinear.hpp"
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+[[nodiscard]] Orthogonal2Layer layout_hypercube(std::uint32_t n);
+
+}  // namespace mlvl::layout

@@ -1,0 +1,44 @@
+#include "layout/isn_layout.hpp"
+
+#include "core/collinear.hpp"
+#include "topology/isn.hpp"
+
+namespace mlvl::layout {
+
+Orthogonal2Layer layout_isn(std::uint32_t levels, std::uint32_t r,
+                            std::uint32_t links_per_pair) {
+  topo::Isn isn = topo::make_isn(levels, r, links_per_pair);
+  const std::uint32_t stages = levels - 1;
+  const std::uint32_t q_low = stages / 2;
+
+  const CollinearResult low =
+      q_low ? collinear_ghc(std::vector<std::uint32_t>(q_low, r))
+            : CollinearResult{};
+  const CollinearResult high =
+      stages > q_low
+          ? collinear_ghc(std::vector<std::uint32_t>(stages - q_low, r))
+          : CollinearResult{};
+  std::uint64_t low_size = 1;
+  for (std::uint32_t i = 0; i < q_low; ++i) low_size *= r;
+
+  Placement p;
+  p.rows = (stages > q_low ? high.graph.num_nodes() : 1) * stages;
+  p.cols = static_cast<std::uint32_t>(low_size) * r;
+  p.row_of.resize(isn.graph.num_nodes());
+  p.col_of.resize(isn.graph.num_nodes());
+  for (NodeId u = 0; u < isn.graph.num_nodes(); ++u) {
+    const std::uint32_t pos = u % r;
+    const std::uint32_t stage = (u / r) % stages;
+    const NodeId cluster = u / (r * stages);
+    const std::uint32_t clo = cluster % low_size;
+    const std::uint32_t chi = cluster / low_size;
+    const std::uint32_t qcol = q_low ? low.layout.pos[clo] : 0;
+    const std::uint32_t qrow =
+        stages > q_low ? high.layout.pos[chi] : 0;
+    p.row_of[u] = qrow * stages + stage;
+    p.col_of[u] = qcol * r + pos;
+  }
+  return orthogonal_greedy(std::move(isn.graph), std::move(p));
+}
+
+}  // namespace mlvl::layout

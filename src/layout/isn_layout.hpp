@@ -1,0 +1,19 @@
+// Sec. 4.3 — indirect swap networks over the GHC quotient.
+//
+// Cluster sub-grid: stages as sub-rows, positions as sub-columns. Stage
+// chains become column edges, the stage-0 nucleus ring and row-digit
+// inter-cluster links become row edges; column-digit inter-cluster links are
+// extra links (same treatment as in the HSN layout).
+#pragma once
+
+#include <cstdint>
+
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+/// links_per_pair: 2 = ISN proper, 4 = butterfly-equivalent control network.
+[[nodiscard]] Orthogonal2Layer layout_isn(std::uint32_t levels, std::uint32_t r,
+                                          std::uint32_t links_per_pair = 2);
+
+}  // namespace mlvl::layout

@@ -1,0 +1,39 @@
+#include "layout/kary_layout.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::layout {
+namespace {
+
+/// One isolated node; the degenerate factor for n == 1 networks.
+CollinearResult trivial_factor() {
+  CollinearResult r;
+  r.graph = Graph(1);
+  r.layout.pos = {0};
+  r.layout.order = {0};
+  r.layout.num_tracks = 0;
+  return r;
+}
+
+}  // namespace
+
+Orthogonal2Layer layout_kary(std::uint32_t k, std::uint32_t n,
+                             Ordering ordering) {
+  if (n < 1) throw std::invalid_argument("layout_kary: n >= 1 required");
+  const std::uint32_t n_low = n / 2;  // digits along each row
+  CollinearResult row =
+      n_low == 0 ? trivial_factor() : collinear_kary(k, n_low, ordering);
+  CollinearResult col = collinear_kary(k, n - n_low, ordering);
+  return compose_product(row, col);
+}
+
+Orthogonal2Layer layout_kary_mesh(std::uint32_t k, std::uint32_t n) {
+  if (n < 1) throw std::invalid_argument("layout_kary_mesh: n >= 1 required");
+  const std::uint32_t n_low = n / 2;
+  CollinearResult row =
+      n_low == 0 ? trivial_factor() : collinear_kary_mesh(k, n_low);
+  CollinearResult col = collinear_kary_mesh(k, n - n_low);
+  return compose_product(row, col);
+}
+
+}  // namespace mlvl::layout

@@ -1,0 +1,23 @@
+// Sec. 3.1 — multilayer layout of k-ary n-cubes.
+//
+// The node (i_{n-1},...,i_0) goes to grid position (i, j) with i the value of
+// the high ceil(n/2) digits and j the low floor(n/2) digits; rows are wired
+// as k-ary floor(n/2)-cubes and columns as k-ary ceil(n/2)-cubes with the
+// constructive collinear layouts, then the orthogonal multilayer transform
+// is applied. Ordering::kFolded folds every dimension to shorten the
+// wraparound wires (the paper's max-wire-length reduction).
+#pragma once
+
+#include "core/collinear.hpp"
+#include "core/orthogonal.hpp"
+
+namespace mlvl::layout {
+
+[[nodiscard]] Orthogonal2Layer layout_kary(std::uint32_t k, std::uint32_t n,
+                                           Ordering ordering = Ordering::kNatural);
+
+/// k-ary n-mesh (no wraparound): same digit split with the mesh collinear
+/// factors f = (k^m - 1)/(k - 1) — roughly half the torus tracks.
+[[nodiscard]] Orthogonal2Layer layout_kary_mesh(std::uint32_t k, std::uint32_t n);
+
+}  // namespace mlvl::layout

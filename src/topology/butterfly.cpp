@@ -1,0 +1,36 @@
+#include "topology/butterfly.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::topo {
+namespace {
+
+Butterfly build(std::uint32_t k, bool wrapped) {
+  if (k < (wrapped ? 2u : 1u) || k > 20)
+    throw std::invalid_argument("butterfly: level count out of range");
+  Butterfly bf;
+  bf.k = k;
+  bf.rows = 1u << k;
+  bf.num_levels = wrapped ? k : k + 1;
+  bf.wrapped = wrapped;
+  bf.graph = Graph(bf.rows * bf.num_levels);
+  for (std::uint32_t r = 0; r < bf.rows; ++r) {
+    for (std::uint32_t l = 0; l < k; ++l) {
+      const std::uint32_t l2 = wrapped ? (l + 1) % k : l + 1;
+      // Straight edge; for the wrapped k==2 case the level-1 straight edge
+      // would duplicate the level-0 one (both connect levels 0 and 1 of the
+      // same row), so it is emitted only once.
+      if (!(wrapped && k == 2 && l == 1))
+        bf.graph.add_edge(bf.id(l, r), bf.id(l2, r));
+      bf.graph.add_edge(bf.id(l, r), bf.id(l2, r ^ (1u << l)));
+    }
+  }
+  return bf;
+}
+
+}  // namespace
+
+Butterfly make_wrapped_butterfly(std::uint32_t k) { return build(k, true); }
+Butterfly make_butterfly(std::uint32_t k) { return build(k, false); }
+
+}  // namespace mlvl::topo

@@ -1,0 +1,35 @@
+// Butterfly networks — Sec. 4.2.
+//
+// The ordinary k-level butterfly has rows 0..2^k-1 and levels 0..k; node
+// (l, r) connects to (l+1, r) (straight) and (l+1, r XOR 2^l) (cross). The
+// wrapped butterfly identifies level k with level 0, giving the R x R
+// butterfly of the paper with N = R log2 R nodes (R = 2^k rows).
+//
+// Node id = r * num_levels + l (row-major), so a row is contiguous.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+struct Butterfly {
+  Graph graph;
+  std::uint32_t k = 0;           ///< log2(rows)
+  std::uint32_t rows = 0;        ///< 2^k
+  std::uint32_t num_levels = 0;  ///< k (wrapped) or k+1 (ordinary)
+  bool wrapped = false;
+
+  [[nodiscard]] NodeId id(std::uint32_t level, std::uint32_t row) const {
+    return row * num_levels + level;
+  }
+};
+
+/// Wrapped butterfly with 2^k rows and k levels. k >= 2.
+[[nodiscard]] Butterfly make_wrapped_butterfly(std::uint32_t k);
+
+/// Ordinary butterfly with 2^k rows and k+1 levels. k >= 1.
+[[nodiscard]] Butterfly make_butterfly(std::uint32_t k);
+
+}  // namespace mlvl::topo

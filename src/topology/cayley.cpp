@@ -1,0 +1,130 @@
+#include "topology/cayley.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlvl::topo {
+namespace {
+
+constexpr std::uint32_t kMaxN = 8;  // 8! = 40320 nodes
+
+void check_n(std::uint32_t n, std::uint32_t lo) {
+  if (n < lo || n > kMaxN)
+    throw std::invalid_argument("cayley: n out of supported range");
+}
+
+/// Build a Cayley graph from an involution-free-or-not generator set given as
+/// position permutations applied to the node permutation.
+template <typename ApplyGen>
+Graph build_cayley(std::uint32_t n, std::uint32_t num_gens, ApplyGen apply) {
+  const auto N = static_cast<NodeId>(factorial(n));
+  Graph g(N);
+  std::vector<std::uint32_t> perm, image;
+  for (NodeId u = 0; u < N; ++u) {
+    perm = perm_unrank(u, n);
+    for (std::uint32_t gi = 0; gi < num_gens; ++gi) {
+      image = perm;
+      apply(gi, image);
+      const NodeId v = perm_rank(image);
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::uint64_t factorial(std::uint32_t n) {
+  if (n > 12) throw std::invalid_argument("factorial: n <= 12 required");
+  std::uint64_t f = 1;
+  for (std::uint32_t i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+std::uint32_t perm_rank(const std::vector<std::uint32_t>& perm) {
+  const auto n = static_cast<std::uint32_t>(perm.size());
+  std::uint64_t rank = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t smaller = 0;
+    for (std::uint32_t j = i + 1; j < n; ++j)
+      if (perm[j] < perm[i]) ++smaller;
+    rank = rank * (n - i) + smaller;
+  }
+  return static_cast<std::uint32_t>(rank);
+}
+
+std::vector<std::uint32_t> perm_unrank(std::uint32_t rank, std::uint32_t n) {
+  std::vector<std::uint32_t> digits(n, 0);
+  std::uint64_t r = rank;
+  for (std::uint32_t i = n; i >= 1; --i) {
+    digits[i - 1] = static_cast<std::uint32_t>(r % (n - i + 1));
+    r /= (n - i + 1);
+  }
+  std::vector<std::uint32_t> avail(n);
+  for (std::uint32_t i = 0; i < n; ++i) avail[i] = i;
+  std::vector<std::uint32_t> perm(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    perm[i] = avail[digits[i]];
+    avail.erase(avail.begin() + digits[i]);
+  }
+  return perm;
+}
+
+Graph make_star_graph(std::uint32_t n) {
+  check_n(n, 3);
+  return build_cayley(n, n - 1, [](std::uint32_t gi, std::vector<std::uint32_t>& p) {
+    std::swap(p[0], p[gi + 1]);
+  });
+}
+
+Graph make_pancake(std::uint32_t n) {
+  check_n(n, 3);
+  return build_cayley(n, n - 1, [](std::uint32_t gi, std::vector<std::uint32_t>& p) {
+    std::reverse(p.begin(), p.begin() + gi + 2);
+  });
+}
+
+Graph make_bubble_sort(std::uint32_t n) {
+  check_n(n, 3);
+  return build_cayley(n, n - 1, [](std::uint32_t gi, std::vector<std::uint32_t>& p) {
+    std::swap(p[gi], p[gi + 1]);
+  });
+}
+
+Graph make_transposition(std::uint32_t n) {
+  check_n(n, 3);
+  const std::uint32_t num_gens = n * (n - 1) / 2;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> gens;
+  gens.reserve(num_gens);
+  for (std::uint32_t a = 0; a < n; ++a)
+    for (std::uint32_t b = a + 1; b < n; ++b) gens.emplace_back(a, b);
+  return build_cayley(n, num_gens,
+                      [&gens](std::uint32_t gi, std::vector<std::uint32_t>& p) {
+                        std::swap(p[gens[gi].first], p[gens[gi].second]);
+                      });
+}
+
+Scc make_scc(std::uint32_t n) {
+  check_n(n, 3);
+  Scc s;
+  s.n = n;
+  const auto perms = static_cast<NodeId>(factorial(n));
+  const std::uint32_t cyc = n - 1;
+  s.graph = Graph(perms * cyc);
+  std::vector<std::uint32_t> perm, image;
+  for (NodeId u = 0; u < perms; ++u) {
+    for (std::uint32_t i = 0; i + 1 < cyc; ++i)
+      s.graph.add_edge(s.id(u, i), s.id(u, i + 1));
+    if (cyc >= 3) s.graph.add_edge(s.id(u, 0), s.id(u, cyc - 1));
+    perm = perm_unrank(u, n);
+    for (std::uint32_t gi = 0; gi < cyc; ++gi) {
+      image = perm;
+      std::swap(image[0], image[gi + 1]);
+      const NodeId v = perm_rank(image);
+      if (u < v) s.graph.add_edge(s.id(u, gi), s.id(v, gi));
+    }
+  }
+  return s;
+}
+
+}  // namespace mlvl::topo

@@ -1,0 +1,52 @@
+// Cayley-graph networks over the symmetric group — star graphs, pancake
+// graphs, bubble-sort graphs, transposition networks, and star-connected
+// cycles (SCC). The paper (Sec. 1 and 4.3) states that its multilayer
+// techniques apply to these families; we provide the generators and lay them
+// out with the generic orthogonal scheme.
+//
+// Permutations of {0..n-1} are identified with their lexicographic rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+/// n! (n <= 12).
+[[nodiscard]] std::uint64_t factorial(std::uint32_t n);
+
+/// Lexicographic rank of a permutation of {0..n-1}.
+[[nodiscard]] std::uint32_t perm_rank(const std::vector<std::uint32_t>& perm);
+
+/// Inverse of perm_rank.
+[[nodiscard]] std::vector<std::uint32_t> perm_unrank(std::uint32_t rank,
+                                                     std::uint32_t n);
+
+/// Star graph: generators swap symbol 0 with symbol i, i = 1..n-1.
+[[nodiscard]] Graph make_star_graph(std::uint32_t n);
+
+/// Pancake graph: generators reverse the prefix of length 2..n.
+[[nodiscard]] Graph make_pancake(std::uint32_t n);
+
+/// Bubble-sort graph: generators swap adjacent positions (i, i+1).
+[[nodiscard]] Graph make_bubble_sort(std::uint32_t n);
+
+/// Transposition network: generators swap any pair of positions.
+[[nodiscard]] Graph make_transposition(std::uint32_t n);
+
+struct Scc {
+  Graph graph;
+  std::uint32_t n = 0;
+
+  [[nodiscard]] NodeId id(std::uint32_t perm_rank, std::uint32_t pos) const {
+    return perm_rank * (n - 1) + pos;
+  }
+};
+
+/// Star-connected cycles: each star-graph node becomes an (n-1)-node cycle;
+/// cycle position i-1 carries the star generator i. n >= 3.
+[[nodiscard]] Scc make_scc(std::uint32_t n);
+
+}  // namespace mlvl::topo

@@ -1,0 +1,26 @@
+#include "topology/ccc.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::topo {
+
+Ccc make_ccc(std::uint32_t n) {
+  if (n < 2 || n > 20) throw std::invalid_argument("make_ccc: 2 <= n <= 20");
+  Ccc c;
+  c.n = n;
+  const std::uint32_t cubes = 1u << n;
+  c.graph = Graph(cubes * n);
+  for (std::uint32_t w = 0; w < cubes; ++w) {
+    // Cycle edges (a 2-cycle degenerates to one edge).
+    for (std::uint32_t i = 0; i + 1 < n; ++i)
+      c.graph.add_edge(c.id(w, i), c.id(w, i + 1));
+    if (n >= 3) c.graph.add_edge(c.id(w, 0), c.id(w, n - 1));
+    // Cube edges, one per dimension, emitted from the 0-side.
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (((w >> i) & 1u) == 0)
+        c.graph.add_edge(c.id(w, i), c.id(w | (1u << i), i));
+  }
+  return c;
+}
+
+}  // namespace mlvl::topo

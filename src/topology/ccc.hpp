@@ -1,0 +1,26 @@
+// Cube-connected cycles (Preparata-Vuillemin) — Sec. 5.2.
+//
+// CCC(n) replaces each node of the n-cube with an n-node cycle; cycle
+// position i of cube node w carries the dimension-i cube edge. Node id =
+// w * n + i.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+struct Ccc {
+  Graph graph;
+  std::uint32_t n = 0;  ///< cube dimension = cycle length
+
+  [[nodiscard]] NodeId id(std::uint32_t cube_node, std::uint32_t pos) const {
+    return cube_node * n + pos;
+  }
+};
+
+/// n-dimensional CCC on n * 2^n nodes. n >= 2.
+[[nodiscard]] Ccc make_ccc(std::uint32_t n);
+
+}  // namespace mlvl::topo

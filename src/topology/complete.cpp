@@ -1,0 +1,15 @@
+#include "topology/complete.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::topo {
+
+Graph make_complete(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_complete: n >= 2 required");
+  Graph g(n);
+  for (std::uint32_t a = 0; a < n; ++a)
+    for (std::uint32_t b = a + 1; b < n; ++b) g.add_edge(a, b);
+  return g;
+}
+
+}  // namespace mlvl::topo

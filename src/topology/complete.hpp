@@ -1,0 +1,13 @@
+// Complete graphs — the 1-dimensional generalized hypercube (Sec. 4.1).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+/// Complete graph K_n.
+[[nodiscard]] Graph make_complete(std::uint32_t n);
+
+}  // namespace mlvl::topo

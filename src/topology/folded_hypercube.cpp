@@ -1,0 +1,51 @@
+#include "topology/folded_hypercube.hpp"
+
+#include <stdexcept>
+
+#include "topology/hypercube.hpp"
+
+namespace mlvl::topo {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+EdgeId hypercube_edge_count(std::uint32_t n) {
+  return static_cast<EdgeId>(n) << (n - 1);  // n * 2^n / 2
+}
+
+Graph make_folded_hypercube(std::uint32_t n) {
+  if (n < 2 || n > 20)
+    throw std::invalid_argument("make_folded_hypercube: 2 <= n <= 20");
+  Graph g = make_hypercube(n);
+  const NodeId N = 1u << n;
+  const NodeId mask = N - 1;
+  for (NodeId u = 0; u < N; ++u) {
+    const NodeId v = u ^ mask;
+    if (u < v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_enhanced_cube(std::uint32_t n, std::uint64_t seed) {
+  if (n < 2 || n > 20)
+    throw std::invalid_argument("make_enhanced_cube: 2 <= n <= 20");
+  Graph g = make_hypercube(n);
+  const NodeId N = 1u << n;
+  std::uint64_t state = seed;
+  for (NodeId u = 0; u < N; ++u) {
+    NodeId v = u;
+    while (v == u) v = static_cast<NodeId>(splitmix64(state) % N);
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace mlvl::topo

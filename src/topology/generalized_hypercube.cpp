@@ -1,0 +1,38 @@
+#include "topology/generalized_hypercube.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::topo {
+
+Graph make_generalized_hypercube(const std::vector<std::uint32_t>& radices) {
+  if (radices.empty())
+    throw std::invalid_argument("make_generalized_hypercube: empty radices");
+  std::uint64_t size = 1;
+  for (std::uint32_t r : radices) {
+    if (r < 2)
+      throw std::invalid_argument("make_generalized_hypercube: radix >= 2");
+    size *= r;
+    if (size > (1u << 22))
+      throw std::invalid_argument("make_generalized_hypercube: too large");
+  }
+  const auto N = static_cast<NodeId>(size);
+  Graph g(N);
+  for (NodeId u = 0; u < N; ++u) {
+    std::uint64_t step = 1;
+    NodeId rem = u;
+    for (std::uint32_t r : radices) {
+      const std::uint32_t d = rem % r;
+      rem /= r;
+      for (std::uint32_t c = d + 1; c < r; ++c)
+        g.add_edge(u, static_cast<NodeId>(u + (c - d) * step));
+      step *= r;
+    }
+  }
+  return g;
+}
+
+Graph make_generalized_hypercube(std::uint32_t r, std::uint32_t n) {
+  return make_generalized_hypercube(std::vector<std::uint32_t>(n, r));
+}
+
+}  // namespace mlvl::topo

@@ -1,0 +1,23 @@
+// Generalized hypercubes (Bhuyan-Agrawal) — Sec. 4.1.
+//
+// An n-dimensional radix-(r_{n-1},...,r_0) generalized hypercube is the
+// Cartesian product of complete graphs K_{r_t}: two labels are adjacent iff
+// they differ in exactly one digit (in any amount).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+/// Mixed-radix generalized hypercube; radices[t] >= 2 is the radix of
+/// dimension t (dimension 0 innermost).
+[[nodiscard]] Graph make_generalized_hypercube(
+    const std::vector<std::uint32_t>& radices);
+
+/// Uniform-radix convenience: n dimensions of radix r.
+[[nodiscard]] Graph make_generalized_hypercube(std::uint32_t r, std::uint32_t n);
+
+}  // namespace mlvl::topo

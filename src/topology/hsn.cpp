@@ -1,0 +1,55 @@
+#include "topology/hsn.hpp"
+
+#include <stdexcept>
+
+#include "topology/hypercube.hpp"
+
+namespace mlvl::topo {
+
+Hsn make_hsn(std::uint32_t levels, const Graph& nucleus) {
+  if (levels < 1) throw std::invalid_argument("make_hsn: levels >= 1");
+  const std::uint32_t r = nucleus.num_nodes();
+  if (r < 2) throw std::invalid_argument("make_hsn: nucleus too small");
+  std::uint64_t size = 1;
+  for (std::uint32_t i = 0; i < levels; ++i) {
+    size *= r;
+    if (size > (1u << 22)) throw std::invalid_argument("make_hsn: too large");
+  }
+  Hsn h;
+  h.levels = levels;
+  h.r = r;
+  const auto N = static_cast<NodeId>(size);
+  const NodeId clusters = N / r;
+  h.graph = Graph(N);
+
+  // Nucleus edges first (the Hsn::nucleus_edges split relies on this order).
+  for (NodeId c = 0; c < clusters; ++c)
+    for (const Edge& e : nucleus.edges()) h.graph.add_edge(h.id(c, e.u), h.id(c, e.v));
+  h.nucleus_edges = h.graph.num_edges();
+
+  // Swap links: exchange a_1 with a_i, i = 2..levels. Emitted once from the
+  // endpoint with a_1 < a_i.
+  for (NodeId u = 0; u < N; ++u) {
+    const std::uint32_t a1 = u % r;
+    NodeId rest = u / r;
+    std::uint64_t step = r;  // weight of digit a_2
+    for (std::uint32_t i = 2; i <= levels; ++i) {
+      const std::uint32_t ai = rest % r;
+      rest /= r;
+      if (a1 < ai) {
+        // v = u with a_1 := ai and a_i := a1.
+        const NodeId v = static_cast<NodeId>(u + (ai - a1) -
+                                             (ai - a1) * step);
+        h.graph.add_edge(u, v);
+      }
+      step *= r;
+    }
+  }
+  return h;
+}
+
+Hsn make_hhn(std::uint32_t levels, std::uint32_t m) {
+  return make_hsn(levels, make_hypercube(m));
+}
+
+}  // namespace mlvl::topo

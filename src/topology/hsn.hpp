@@ -1,0 +1,38 @@
+// Hierarchical swap networks (HSN) and hierarchical hypercube networks
+// (HHN) — Sec. 4.3.
+//
+// An l-level HSN over an r-node nucleus graph G has nodes labelled
+// (a_l, ..., a_2, a_1) with digits in [0, r). Nucleus edges of G connect
+// labels differing only in a_1; a level-i swap link (2 <= i <= l) connects
+// (a_l,...,a_i,...,a_2,a_1) to the label with a_1 and a_i exchanged (no link
+// when a_1 == a_i). Contracting each nucleus (fixed a_l..a_2) yields an
+// (l-1)-dimensional radix-r generalized hypercube with exactly one link per
+// neighbouring cluster pair, which is what the paper's layout uses.
+//
+// HHN is the special case whose nucleus is a binary hypercube [36].
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+struct Hsn {
+  Graph graph;
+  std::uint32_t levels = 0;  ///< l
+  std::uint32_t r = 0;       ///< nucleus size
+  EdgeId nucleus_edges = 0;  ///< edges [0, nucleus_edges) are nucleus edges
+
+  [[nodiscard]] NodeId id(std::uint32_t cluster, std::uint32_t a1) const {
+    return cluster * r + a1;
+  }
+};
+
+/// l-level HSN over the given nucleus. levels >= 1; r^levels capped.
+[[nodiscard]] Hsn make_hsn(std::uint32_t levels, const Graph& nucleus);
+
+/// HHN: HSN with an m-dimensional hypercube nucleus (r = 2^m).
+[[nodiscard]] Hsn make_hhn(std::uint32_t levels, std::uint32_t m);
+
+}  // namespace mlvl::topo

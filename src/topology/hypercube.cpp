@@ -1,0 +1,18 @@
+#include "topology/hypercube.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::topo {
+
+Graph make_hypercube(std::uint32_t n) {
+  if (n < 1 || n > 24)
+    throw std::invalid_argument("make_hypercube: 1 <= n <= 24 required");
+  const NodeId N = 1u << n;
+  Graph g(N);
+  for (NodeId u = 0; u < N; ++u)
+    for (std::uint32_t t = 0; t < n; ++t)
+      if (((u >> t) & 1u) == 0) g.add_edge(u, u | (1u << t));
+  return g;
+}
+
+}  // namespace mlvl::topo

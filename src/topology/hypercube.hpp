@@ -1,0 +1,13 @@
+// Binary hypercubes — Sec. 5.1.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+/// n-dimensional binary hypercube on 2^n nodes. 1 <= n <= 24.
+[[nodiscard]] Graph make_hypercube(std::uint32_t n);
+
+}  // namespace mlvl::topo

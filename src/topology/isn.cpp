@@ -1,0 +1,59 @@
+#include "topology/isn.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mlvl::topo {
+
+Isn make_isn(std::uint32_t levels, std::uint32_t r,
+             std::uint32_t links_per_pair) {
+  if (levels < 2 || r < 2)
+    throw std::invalid_argument("make_isn: levels >= 2, r >= 2 required");
+  if (links_per_pair != 2 && links_per_pair != 4)
+    throw std::invalid_argument("make_isn: links_per_pair must be 2 or 4");
+  std::uint64_t clusters = 1;
+  for (std::uint32_t i = 1; i < levels; ++i) {
+    clusters *= r;
+    if (clusters * r * (levels - 1) > (1u << 22))
+      throw std::invalid_argument("make_isn: too large");
+  }
+  Isn isn;
+  isn.levels = levels;
+  isn.r = r;
+  const std::uint32_t stages = levels - 1;
+  isn.graph = Graph(static_cast<NodeId>(clusters * stages * r));
+
+  for (NodeId c = 0; c < clusters; ++c) {
+    // Stage chains.
+    for (std::uint32_t s = 0; s + 1 < stages; ++s)
+      for (std::uint32_t p = 0; p < r; ++p)
+        isn.graph.add_edge(isn.id(c, s, p), isn.id(c, s + 1, p));
+    // Nucleus ring at stage 0.
+    for (std::uint32_t p = 0; p + 1 < r; ++p)
+      isn.graph.add_edge(isn.id(c, 0, p), isn.id(c, 0, p + 1));
+    if (r >= 3) isn.graph.add_edge(isn.id(c, 0, 0), isn.id(c, 0, r - 1));
+  }
+
+  // Inter-cluster links: two per neighbouring pair of the quotient GHC.
+  for (NodeId c = 0; c < clusters; ++c) {
+    NodeId rest = c;
+    std::uint64_t step = 1;
+    for (std::uint32_t s = 0; s < stages; ++s) {
+      const std::uint32_t x = rest % r;
+      rest /= r;
+      for (std::uint32_t y = x + 1; y < r; ++y) {
+        const NodeId c2 = static_cast<NodeId>(c + (y - x) * step);
+        isn.graph.add_edge(isn.id(c, s, y), isn.id(c2, s, x));
+        isn.graph.add_edge(isn.id(c, s, x), isn.id(c2, s, y));
+        if (links_per_pair == 4) {
+          isn.graph.add_edge(isn.id(c, s, x), isn.id(c2, s, x));
+          isn.graph.add_edge(isn.id(c, s, y), isn.id(c2, s, y));
+        }
+      }
+      step *= r;
+    }
+  }
+  return isn;
+}
+
+}  // namespace mlvl::topo

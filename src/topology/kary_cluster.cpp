@@ -1,0 +1,62 @@
+#include "topology/kary_cluster.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "topology/kary_ncube.hpp"
+
+namespace mlvl::topo {
+
+KaryCluster make_kary_cluster(std::uint32_t k, std::uint32_t n, std::uint32_t c,
+                              ClusterKind kind) {
+  if (k < 2 || n < 1 || c < 2)
+    throw std::invalid_argument("make_kary_cluster: k>=2, n>=1, c>=2");
+  if (kind == ClusterKind::kHypercube && !std::has_single_bit(c))
+    throw std::invalid_argument(
+        "make_kary_cluster: hypercube cluster size must be a power of two");
+  const std::uint64_t q = kary_size(k, n);
+  if (q * c > (1u << 24))
+    throw std::invalid_argument("make_kary_cluster: too large");
+
+  KaryCluster kc;
+  kc.k = k;
+  kc.n = n;
+  kc.c = c;
+  kc.cluster = kind;
+  kc.graph = Graph(static_cast<NodeId>(q * c));
+
+  // Intra-cluster edges.
+  for (NodeId w = 0; w < q; ++w) {
+    if (kind == ClusterKind::kHypercube) {
+      const std::uint32_t m = std::bit_width(c) - 1;
+      for (std::uint32_t i = 0; i < c; ++i)
+        for (std::uint32_t b = 0; b < m; ++b)
+          if (((i >> b) & 1u) == 0)
+            kc.graph.add_edge(kc.id(w, i), kc.id(w, i | (1u << b)));
+    } else {
+      for (std::uint32_t a = 0; a < c; ++a)
+        for (std::uint32_t b = a + 1; b < c; ++b)
+          kc.graph.add_edge(kc.id(w, a), kc.id(w, b));
+    }
+  }
+  // Quotient torus channels; +direction uses port(t,0) at both ends.
+  for (NodeId w = 0; w < q; ++w) {
+    std::uint64_t step = 1;
+    NodeId rem = w;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      const std::uint32_t d = rem % k;
+      rem /= k;
+      if (d + 1 < k)
+        kc.graph.add_edge(kc.id(w, kc.port(t, 0)),
+                          kc.id(static_cast<NodeId>(w + step), kc.port(t, 0)));
+      if (d == 0 && k >= 3)
+        kc.graph.add_edge(
+            kc.id(w, kc.port(t, 1)),
+            kc.id(static_cast<NodeId>(w + (k - 1) * step), kc.port(t, 1)));
+      step *= k;
+    }
+  }
+  return kc;
+}
+
+}  // namespace mlvl::topo

@@ -1,0 +1,37 @@
+// k-ary n-cube cluster-c (Basak-Panda) — Sec. 3.2's PN-cluster example.
+//
+// Every node of a k-ary n-cube is replaced by a c-node cluster (a hypercube
+// or a complete graph). Each of the 2n inter-cluster channels of a quotient
+// node attaches to cluster position (dimension * 2 + direction) mod c, the
+// same position on both sides, so the channel stays a row/column wire in the
+// flattened layout.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+enum class ClusterKind : std::uint8_t { kHypercube, kComplete };
+
+struct KaryCluster {
+  Graph graph;
+  std::uint32_t k = 0, n = 0, c = 0;
+  ClusterKind cluster = ClusterKind::kHypercube;
+
+  [[nodiscard]] NodeId id(NodeId quotient_node, std::uint32_t pos) const {
+    return quotient_node * c + pos;
+  }
+  /// Cluster position carrying the dimension-t channel in direction
+  /// dir (0 = +, 1 = -).
+  [[nodiscard]] std::uint32_t port(std::uint32_t t, std::uint32_t dir) const {
+    return (2 * t + dir) % c;
+  }
+};
+
+/// k-ary n-cube cluster-c. For kHypercube clusters c must be a power of two.
+[[nodiscard]] KaryCluster make_kary_cluster(std::uint32_t k, std::uint32_t n,
+                                            std::uint32_t c, ClusterKind kind);
+
+}  // namespace mlvl::topo

@@ -1,0 +1,39 @@
+#include "topology/kary_ncube.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::topo {
+
+std::uint64_t kary_size(std::uint32_t k, std::uint32_t n) {
+  std::uint64_t s = 1;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    s *= k;
+    if (s > (1ull << 32)) throw std::invalid_argument("kary_size: overflow");
+  }
+  return s;
+}
+
+Graph make_kary_ncube(std::uint32_t k, std::uint32_t n, bool wrap) {
+  if (k < 2 || n < 1)
+    throw std::invalid_argument("make_kary_ncube: k >= 2, n >= 1 required");
+  const std::uint64_t size = kary_size(k, n);
+  if (size > (1u << 26))
+    throw std::invalid_argument("make_kary_ncube: network too large");
+  const auto N = static_cast<NodeId>(size);
+  Graph g(N);
+  for (NodeId u = 0; u < N; ++u) {
+    std::uint64_t step = 1;
+    NodeId rem = u;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      const std::uint32_t d = rem % k;
+      rem /= k;
+      if (d + 1 < k) g.add_edge(u, static_cast<NodeId>(u + step));
+      if (wrap && d == 0 && k >= 3)
+        g.add_edge(u, static_cast<NodeId>(u + (k - 1) * step));
+      step *= k;
+    }
+  }
+  return g;
+}
+
+}  // namespace mlvl::topo

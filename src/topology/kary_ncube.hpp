@@ -1,0 +1,21 @@
+// k-ary n-cubes (tori) and meshes — Sec. 3.1.
+//
+// Node labels are mixed-radix digit strings (d_{n-1}, ..., d_0) with value
+// sum d_t k^t; dimension-t edges connect labels differing by one in digit t
+// (cyclically for tori).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+/// k-ary n-cube (torus when wrap, mesh otherwise). k >= 2, n >= 1.
+[[nodiscard]] Graph make_kary_ncube(std::uint32_t k, std::uint32_t n,
+                                    bool wrap = true);
+
+/// Number of nodes k^n, guarding against overflow.
+[[nodiscard]] std::uint64_t kary_size(std::uint32_t k, std::uint32_t n);
+
+}  // namespace mlvl::topo

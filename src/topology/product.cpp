@@ -1,0 +1,20 @@
+#include "topology/product.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::topo {
+
+Graph make_product(const Graph& a, const Graph& b) {
+  const std::uint64_t size =
+      static_cast<std::uint64_t>(a.num_nodes()) * b.num_nodes();
+  if (size > (1u << 26)) throw std::invalid_argument("make_product: too large");
+  Graph g(static_cast<NodeId>(size));
+  const NodeId w = a.num_nodes();
+  for (NodeId hi = 0; hi < b.num_nodes(); ++hi)
+    for (const Edge& e : a.edges()) g.add_edge(hi * w + e.u, hi * w + e.v);
+  for (NodeId lo = 0; lo < w; ++lo)
+    for (const Edge& e : b.edges()) g.add_edge(e.u * w + lo, e.v * w + lo);
+  return g;
+}
+
+}  // namespace mlvl::topo

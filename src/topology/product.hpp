@@ -1,0 +1,15 @@
+// Generic Cartesian product networks — Sec. 3.2.
+//
+// The product A x B has node (b, a) = b * |A| + a; A-edges repeat inside each
+// "row" (fixed b), B-edges inside each "column" (fixed a). k-ary n-cubes,
+// hypercubes and generalized hypercubes are all iterated products.
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+/// Cartesian product A x B with node id hi * |A| + lo (hi indexes B).
+[[nodiscard]] Graph make_product(const Graph& a, const Graph& b);
+
+}  // namespace mlvl::topo

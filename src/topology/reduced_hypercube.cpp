@@ -1,0 +1,31 @@
+#include "topology/reduced_hypercube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mlvl::topo {
+
+ReducedHypercube make_reduced_hypercube(std::uint32_t n) {
+  if (n < 2 || n > 16 || !std::has_single_bit(n))
+    throw std::invalid_argument(
+        "make_reduced_hypercube: n must be a power of two in [2, 16]");
+  ReducedHypercube rh;
+  rh.n = n;
+  const std::uint32_t cubes = 1u << n;
+  rh.graph = Graph(cubes * n);
+  const std::uint32_t logn = std::bit_width(n) - 1;
+  for (std::uint32_t w = 0; w < cubes; ++w) {
+    // Intra-cluster hypercube on positions.
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t b = 0; b < logn; ++b)
+        if (((i >> b) & 1u) == 0)
+          rh.graph.add_edge(rh.id(w, i), rh.id(w, i | (1u << b)));
+    // Cube edges, as in CCC.
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (((w >> i) & 1u) == 0)
+        rh.graph.add_edge(rh.id(w, i), rh.id(w | (1u << i), i));
+  }
+  return rh;
+}
+
+}  // namespace mlvl::topo

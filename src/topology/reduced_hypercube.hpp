@@ -1,0 +1,26 @@
+// Reduced hypercubes (Ziavras) — Sec. 5.2.
+//
+// RH(n) replaces each n-node cycle of CCC(n) with a log2(n)-dimensional
+// hypercube (n must be a power of two). Node id = w * n + i, with the cube
+// edge of dimension i at cluster position i as in CCC.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+struct ReducedHypercube {
+  Graph graph;
+  std::uint32_t n = 0;
+
+  [[nodiscard]] NodeId id(std::uint32_t cube_node, std::uint32_t pos) const {
+    return cube_node * n + pos;
+  }
+};
+
+/// RH on n * 2^n nodes; n must be a power of two, n >= 2.
+[[nodiscard]] ReducedHypercube make_reduced_hypercube(std::uint32_t n);
+
+}  // namespace mlvl::topo

@@ -1,0 +1,22 @@
+#include "topology/ring.hpp"
+
+#include <stdexcept>
+
+namespace mlvl::topo {
+
+Graph make_ring(std::uint32_t k) {
+  if (k < 2) throw std::invalid_argument("make_ring: k >= 2 required");
+  Graph g(k);
+  for (std::uint32_t i = 0; i + 1 < k; ++i) g.add_edge(i, i + 1);
+  if (k >= 3) g.add_edge(0, k - 1);
+  return g;
+}
+
+Graph make_path(std::uint32_t k) {
+  if (k < 1) throw std::invalid_argument("make_path: k >= 1 required");
+  Graph g(k);
+  for (std::uint32_t i = 0; i + 1 < k; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+}  // namespace mlvl::topo

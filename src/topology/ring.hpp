@@ -1,0 +1,14 @@
+// Rings and paths — the k-ary 1-cube base case of Sec. 3.1.
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace mlvl::topo {
+
+/// k-node cycle (k-ary 1-cube). k == 2 degenerates to a single edge.
+[[nodiscard]] Graph make_ring(std::uint32_t k);
+
+/// k-node path (mesh of one dimension).
+[[nodiscard]] Graph make_path(std::uint32_t k);
+
+}  // namespace mlvl::topo

@@ -1,0 +1,101 @@
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/multilayer.hpp"
+#include "layout/ghc_layout.hpp"
+#include "topology/complete.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/ring.hpp"
+
+namespace mlvl {
+namespace {
+
+using namespace analysis;
+
+TEST(Bisection, RingExact) {
+  EXPECT_EQ(exact_bisection(topo::make_ring(8)), 2u);
+  EXPECT_EQ(exact_bisection(topo::make_ring(7)), 2u);
+  EXPECT_EQ(exact_bisection(topo::make_path(8)), 1u);
+}
+
+TEST(Bisection, HypercubeExactMatchesFormula) {
+  for (std::uint32_t n : {2u, 3u, 4u}) {
+    EXPECT_EQ(exact_bisection(topo::make_hypercube(n)), hypercube_bisection(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Bisection, CompleteExactMatchesFormula) {
+  for (std::uint32_t n : {4u, 5u, 8u, 9u}) {
+    EXPECT_EQ(exact_bisection(topo::make_complete(n)), complete_bisection(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Bisection, KaryExactMatchesFormula) {
+  // Even k: the dimension cut is a perfect bisection.
+  EXPECT_EQ(exact_bisection(topo::make_kary_ncube(4, 2)), kary_bisection(4, 2));
+  // Odd k: N is odd, no dimension cut balances exactly; the closed form
+  // remains a valid lower bound (what the area bound needs).
+  EXPECT_GE(exact_bisection(topo::make_kary_ncube(3, 2)),
+            kary_bisection(3, 2));
+}
+
+TEST(Bisection, DisconnectedGraphIsZero) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(exact_bisection(g), 0u);
+}
+
+TEST(Bisection, RangeChecks) {
+  EXPECT_THROW(static_cast<void>(exact_bisection(Graph(1))), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(exact_bisection(Graph(30))), std::invalid_argument);
+}
+
+TEST(Bisection, HeuristicUpperBoundsExact) {
+  for (std::uint32_t n : {3u, 4u}) {
+    Graph g = topo::make_hypercube(n);
+    const std::uint64_t exact = exact_bisection(g);
+    const std::uint64_t heur = heuristic_bisection(g);
+    EXPECT_GE(heur, exact);
+    // The swap descent finds the hypercube bisection easily.
+    EXPECT_EQ(heur, exact) << "n=" << n;
+  }
+}
+
+TEST(Bounds, AreaLowerBoundArithmetic) {
+  EXPECT_DOUBLE_EQ(area_lower_bound(100, 2), 2500.0);
+  EXPECT_DOUBLE_EQ(area_lower_bound(100, 10), 100.0);
+  EXPECT_DOUBLE_EQ(area_lower_bound(0, 4), 0.0);
+}
+
+TEST(Bounds, MeasuredAreasRespectLowerBound) {
+  // Soundness: no verified layout may beat the bisection bound.
+  Orthogonal2Layer o = layout::layout_ghc(8, 2);
+  const std::uint64_t B = ghc_bisection(8, 2);
+  for (std::uint32_t L : {2u, 4u, 8u}) {
+    MultilayerLayout ml = realize(o, {.L = L});
+    LayoutMetrics m = compute_metrics(ml, o.graph);
+    EXPECT_GE(double(m.area), area_lower_bound(B, L)) << "L=" << L;
+  }
+}
+
+TEST(Bounds, GhcThompsonOptimality) {
+  // The paper's Sec. 1 claim: the GHC layout is optimal within 1 + o(1)
+  // under the Thompson model, where each direction offers one crossing
+  // layer: A >= B^2.
+  Orthogonal2Layer o = layout::layout_ghc(8, 2);
+  MultilayerLayout ml = realize(o, {.L = 2});
+  LayoutMetrics m = compute_metrics(ml, o.graph);
+  const double bound =
+      double(ghc_bisection(8, 2)) * ghc_bisection(8, 2);
+  EXPECT_GE(double(m.wiring_area), bound * 0.999);
+  EXPECT_LE(double(m.wiring_area), bound * 1.05);
+}
+
+}  // namespace
+}  // namespace mlvl

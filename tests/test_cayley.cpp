@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "analysis/routing.hpp"
+#include "topology/cayley.hpp"
+
+namespace mlvl {
+namespace {
+
+using namespace topo;
+
+TEST(Perm, RankUnrankRoundTrip) {
+  for (std::uint32_t n : {1u, 3u, 5u}) {
+    const auto total = static_cast<std::uint32_t>(factorial(n));
+    for (std::uint32_t r = 0; r < total; ++r)
+      EXPECT_EQ(perm_rank(perm_unrank(r, n)), r) << "n=" << n << " r=" << r;
+  }
+}
+
+TEST(Perm, LexOrder) {
+  EXPECT_EQ(perm_unrank(0, 3), (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(perm_unrank(5, 3), (std::vector<std::uint32_t>{2, 1, 0}));
+}
+
+TEST(StarGraph, Structure) {
+  Graph g = make_star_graph(4);
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_EQ(g.num_edges(), 24u * 3 / 2);  // (n-1)-regular
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_FALSE(g.has_parallel_edges());
+}
+
+TEST(Pancake, Structure) {
+  Graph g = make_pancake(4);
+  EXPECT_EQ(g.num_edges(), 24u * 3 / 2);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(BubbleSort, Structure) {
+  Graph g = make_bubble_sort(4);
+  EXPECT_EQ(g.num_edges(), 24u * 3 / 2);
+  EXPECT_TRUE(g.is_connected());
+  // Bubble-sort graph is bipartite: all cycles even; check via 2-coloring
+  // using hop distances from node 0.
+  auto dist = analysis::hop_distances(g, 0);
+  for (const Edge& e : g.edges())
+    EXPECT_NE(dist[e.u] % 2, dist[e.v] % 2);
+}
+
+TEST(Transposition, Structure) {
+  Graph g = make_transposition(4);
+  EXPECT_EQ(g.num_edges(), 24u * 6 / 2);  // n(n-1)/2-regular
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Scc, Structure) {
+  Scc s = make_scc(4);
+  EXPECT_EQ(s.graph.num_nodes(), 24u * 3);
+  EXPECT_TRUE(s.graph.is_regular());  // 3-regular
+  EXPECT_EQ(s.graph.degree(0), 3u);
+  EXPECT_TRUE(s.graph.is_connected());
+}
+
+TEST(Cayley, DiametersMatchKnownValues) {
+  // Star graph S4 diameter = floor(3(n-1)/2) = 4; pancake P4 diameter = 4.
+  auto diameter = [](const Graph& g) {
+    std::uint32_t best = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u)
+      for (std::uint32_t d : analysis::hop_distances(g, u))
+        best = std::max(best, d);
+    return best;
+  };
+  EXPECT_EQ(diameter(make_star_graph(4)), 4u);
+  EXPECT_EQ(diameter(make_pancake(4)), 4u);
+  EXPECT_EQ(diameter(make_bubble_sort(4)), 6u);  // n(n-1)/2
+  EXPECT_EQ(diameter(make_transposition(4)), 3u);  // n-1
+}
+
+TEST(Cayley, RangeChecks) {
+  EXPECT_THROW(make_star_graph(2), std::invalid_argument);
+  EXPECT_THROW(make_star_graph(9), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(factorial(13)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlvl

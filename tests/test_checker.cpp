@@ -1,0 +1,167 @@
+#include "core/checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlvl {
+namespace {
+
+/// Two nodes side by side joined by one wire on layer 1.
+struct Fixture {
+  Graph g{2};
+  LayoutGeometry geom;
+
+  Fixture() {
+    g.add_edge(0, 1);
+    geom.num_layers = 2;
+    geom.width = 12;
+    geom.height = 4;
+    geom.boxes = {{0, 1, 2, 2, 0}, {9, 1, 2, 2, 1}};
+    geom.segs = {{1, 1, 9, 1, 1, 0}};  // layer-1 wire between the boxes
+  }
+};
+
+TEST(Checker, AcceptsMinimalLayout) {
+  Fixture f;
+  CheckResult res = check_layout(f.g, f.geom);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_GT(res.points, 0u);
+}
+
+TEST(Checker, RejectsUnroutedEdge) {
+  Fixture f;
+  f.geom.segs.clear();
+  EXPECT_FALSE(check_layout(f.g, f.geom).ok);
+}
+
+TEST(Checker, RejectsDisconnectedWire) {
+  Fixture f;
+  f.geom.segs = {{1, 1, 3, 1, 1, 0}, {6, 1, 9, 1, 1, 0}};  // gap at x=4..5
+  CheckResult res = check_layout(f.g, f.geom);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("disconnected"), std::string::npos);
+}
+
+TEST(Checker, RejectsWireMissingTerminal) {
+  Fixture f;
+  f.geom.segs = {{1, 1, 7, 1, 1, 0}};  // stops short of node 1's box
+  CheckResult res = check_layout(f.g, f.geom);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("terminals"), std::string::npos);
+}
+
+TEST(Checker, RejectsOverlappingWires) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  LayoutGeometry geom;
+  geom.num_layers = 2;
+  geom.width = 12;
+  geom.height = 6;
+  geom.boxes = {{0, 1, 2, 2, 0}, {9, 1, 2, 2, 1}, {9, 4, 2, 2, 2}};
+  geom.segs = {{1, 1, 9, 1, 1, 0}, {1, 1, 9, 1, 1, 1}};  // same track!
+  CheckResult res = check_layout(g, geom);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("collision"), std::string::npos);
+}
+
+TEST(Checker, DifferentLayersMayCross) {
+  // A horizontal wire on layer 1 and a vertical wire on layer 2 crossing at
+  // the same (x, y): legal (the Thompson crossing).
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  LayoutGeometry geom;
+  geom.num_layers = 2;
+  geom.width = 14;
+  geom.height = 14;
+  geom.boxes = {{0, 5, 2, 2, 0}, {11, 5, 2, 2, 1}, {5, 0, 2, 2, 2}, {5, 11, 2, 2, 3}};
+  geom.segs = {{1, 6, 11, 6, 1, 0},   // horizontal, layer 1
+               {6, 1, 6, 12, 2, 1}};  // vertical, layer 2, crosses at (6,6)
+  geom.vias = {{6, 1, 1, 2, 1}, {6, 12, 1, 2, 1}};  // terminals for edge 1
+  CheckResult res = check_layout(g, geom);
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(Checker, BlockingViaConflictsWithCrossingWire) {
+  // Same crossing, but edge 1 drops a via through the crossing point.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  LayoutGeometry geom;
+  geom.num_layers = 2;
+  geom.width = 14;
+  geom.height = 14;
+  geom.boxes = {{0, 5, 2, 2, 0}, {11, 5, 2, 2, 1}, {5, 0, 2, 2, 2}, {5, 11, 2, 2, 3}};
+  geom.segs = {{1, 6, 11, 6, 1, 0}, {6, 1, 6, 12, 2, 1}};
+  geom.vias = {{6, 6, 1, 2, 1}};  // knock-knee style via at the crossing
+  EXPECT_FALSE(check_layout(g, geom, ViaRule::kBlocking).ok);
+}
+
+TEST(Checker, TransparentViaSkipsInteriorLayers) {
+  // A via from layer 1 to 3 whose column crosses a wire on layer 2: illegal
+  // under kBlocking, legal under kTransparent.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  LayoutGeometry geom;
+  geom.num_layers = 3;
+  geom.width = 14;
+  geom.height = 14;
+  geom.boxes = {{0, 5, 2, 2, 0},   // node 0
+                {11, 5, 2, 2, 1},  // node 1
+                {1, 0, 2, 2, 2},   // node 2 (top, above the via column)
+                {1, 11, 2, 2, 3}}; // node 3 (bottom)
+  geom.segs = {{1, 6, 2, 6, 1, 0},    // edge 0: stub out of box 0 on layer 1
+               {2, 6, 11, 6, 3, 0},   // edge 0: run on layer 3
+               {2, 1, 2, 12, 2, 1}};  // edge 1: vertical on layer 2 at x=2
+  geom.vias = {{2, 6, 1, 3, 0},    // edge 0 climbs 1 -> 3 across layer 2
+               {11, 6, 1, 3, 0},   // edge 0 terminal at node 1
+               {2, 1, 1, 2, 1},    // edge 1 terminals
+               {2, 12, 1, 2, 1}};
+  EXPECT_FALSE(check_layout(g, geom, ViaRule::kBlocking).ok);
+  CheckResult res = check_layout(g, geom, ViaRule::kTransparent);
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(Checker, RejectsWireThroughForeignBox) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  LayoutGeometry geom;
+  geom.num_layers = 2;
+  geom.width = 12;
+  geom.height = 8;
+  geom.boxes = {{0, 1, 2, 2, 0}, {9, 1, 2, 2, 1}, {5, 0, 2, 3, 2}};
+  geom.segs = {{1, 1, 9, 1, 1, 0},   // edge 0 runs straight through box 2
+               {1, 2, 5, 2, 1, 1}};  // edge (0,2) may touch box 2
+  CheckResult res = check_layout(g, geom);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("enters box"), std::string::npos);
+}
+
+TEST(Checker, RejectsOutOfBounds) {
+  Fixture f;
+  f.geom.segs.push_back({0, 0, 20, 0, 1, 0});
+  EXPECT_FALSE(check_layout(f.g, f.geom).ok);
+}
+
+TEST(Checker, RejectsBadLayer) {
+  Fixture f;
+  f.geom.segs[0].layer = 5;
+  EXPECT_FALSE(check_layout(f.g, f.geom).ok);
+}
+
+TEST(Checker, RejectsOverlappingBoxes) {
+  Fixture f;
+  f.geom.boxes[1] = {1, 1, 2, 2, 1};
+  EXPECT_FALSE(check_layout(f.g, f.geom).ok);
+}
+
+TEST(Checker, RejectsMissingBox) {
+  Fixture f;
+  f.geom.boxes.pop_back();
+  EXPECT_FALSE(check_layout(f.g, f.geom).ok);
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,196 @@
+#include "core/collinear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace mlvl {
+namespace {
+
+TEST(CollinearRing, TwoTracksNatural) {
+  for (std::uint32_t k : {3u, 4u, 7u, 16u}) {
+    CollinearResult r = collinear_ring(k);
+    EXPECT_EQ(r.layout.num_tracks, 2u) << "k=" << k;
+    EXPECT_TRUE(r.layout.is_valid(r.graph));
+    EXPECT_EQ(r.graph.num_edges(), k);
+  }
+}
+
+TEST(CollinearRing, DegenerateK2) {
+  CollinearResult r = collinear_ring(2);
+  EXPECT_EQ(r.layout.num_tracks, 1u);
+  EXPECT_EQ(r.graph.num_edges(), 1u);
+  EXPECT_TRUE(r.layout.is_valid(r.graph));
+}
+
+TEST(CollinearRing, FoldedShortensWraparound) {
+  for (std::uint32_t k : {6u, 9u, 16u}) {
+    CollinearResult nat = collinear_ring(k, Ordering::kNatural);
+    CollinearResult fld = collinear_ring(k, Ordering::kFolded);
+    EXPECT_EQ(nat.layout.max_span(nat.graph), k - 1);
+    EXPECT_LE(fld.layout.max_span(fld.graph), 2u) << "k=" << k;
+    EXPECT_LE(fld.layout.num_tracks, 3u);
+    EXPECT_TRUE(fld.layout.is_valid(fld.graph));
+  }
+}
+
+TEST(CollinearKary, TrackFormulaFigure2) {
+  // Fig. 2: the 3-ary 2-cube collinear layout needs f_3(2) = 8 tracks.
+  CollinearResult r = collinear_kary(3, 2);
+  EXPECT_EQ(r.layout.num_tracks, 8u);
+  EXPECT_EQ(kary_track_formula(3, 2), 8u);
+  EXPECT_TRUE(r.layout.is_valid(r.graph));
+}
+
+TEST(CollinearKary, TrackFormulaSweep) {
+  for (std::uint32_t k = 3; k <= 6; ++k) {
+    for (std::uint32_t n = 1; n <= 4; ++n) {
+      if (kary_track_formula(k, n) > 4000) continue;
+      CollinearResult r = collinear_kary(k, n);
+      // f_k(n) = 2 (k^n - 1) / (k - 1).
+      std::uint64_t kn = 1;
+      for (std::uint32_t t = 0; t < n; ++t) kn *= k;
+      EXPECT_EQ(r.layout.num_tracks, 2 * (kn - 1) / (k - 1))
+          << "k=" << k << " n=" << n;
+      EXPECT_TRUE(r.layout.is_valid(r.graph)) << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(CollinearKary, EdgeCountMatchesTorus) {
+  CollinearResult r = collinear_kary(4, 3);
+  EXPECT_EQ(r.graph.num_nodes(), 64u);
+  EXPECT_EQ(r.graph.num_edges(), 64u * 3);  // n*N torus edges
+  EXPECT_TRUE(r.graph.is_regular());
+  EXPECT_TRUE(r.graph.is_connected());
+}
+
+TEST(CollinearKary, FoldedOrderingValidAndShorter) {
+  CollinearResult nat = collinear_kary(5, 2, Ordering::kNatural);
+  CollinearResult fld = collinear_kary(5, 2, Ordering::kFolded);
+  EXPECT_TRUE(fld.layout.is_valid(fld.graph));
+  EXPECT_LT(fld.layout.max_span(fld.graph), nat.layout.max_span(nat.graph));
+}
+
+TEST(CollinearKary, GreedyNeverBeatsDensityBound) {
+  // The folded layout's track count is the optimum for its ordering, which
+  // may exceed the natural construction by only a small constant.
+  CollinearResult nat = collinear_kary(4, 3);
+  CollinearResult fld = collinear_kary(4, 3, Ordering::kFolded);
+  EXPECT_LE(fld.layout.num_tracks, nat.layout.num_tracks + 2 * 3);
+}
+
+TEST(CollinearMesh, TrackFormulaSweep) {
+  for (std::uint32_t k = 2; k <= 5; ++k) {
+    for (std::uint32_t n = 1; n <= 3; ++n) {
+      CollinearResult r = collinear_kary_mesh(k, n);
+      // f(n) = (k^n - 1)/(k - 1).
+      std::uint64_t kn = 1;
+      for (std::uint32_t t = 0; t < n; ++t) kn *= k;
+      EXPECT_EQ(r.layout.num_tracks, (kn - 1) / (k - 1)) << "k=" << k;
+      EXPECT_EQ(r.layout.num_tracks, kary_mesh_track_formula(k, n));
+      EXPECT_TRUE(r.layout.is_valid(r.graph)) << "k=" << k << " n=" << n;
+      // Mesh edges: n * k^(n-1) * (k-1).
+      EXPECT_EQ(r.graph.num_edges(), n * (kn / k) * (k - 1));
+    }
+  }
+}
+
+TEST(CollinearMesh, RoughlyHalfTheTorusTracks) {
+  CollinearResult mesh = collinear_kary_mesh(4, 3);
+  CollinearResult torus = collinear_kary(4, 3);
+  EXPECT_LT(2 * mesh.layout.num_tracks, torus.layout.num_tracks + 3);
+}
+
+TEST(CollinearComplete, Figure3NineNodes) {
+  // Fig. 3: K_9 lays out in floor(81/4) = 20 tracks.
+  CollinearResult r = collinear_complete(9);
+  EXPECT_EQ(r.layout.num_tracks, 20u);
+  EXPECT_TRUE(r.layout.is_valid(r.graph));
+}
+
+TEST(CollinearComplete, OptimalTrackSweep) {
+  for (std::uint32_t n : {2u, 3u, 4u, 6u, 10u, 15u, 20u}) {
+    CollinearResult r = collinear_complete(n);
+    EXPECT_EQ(r.layout.num_tracks, complete_track_formula(n)) << "n=" << n;
+    EXPECT_EQ(r.graph.num_edges(), n * (n - 1) / 2);
+    EXPECT_TRUE(r.layout.is_valid(r.graph));
+  }
+}
+
+TEST(CollinearGhc, RecursionFormulaUniform) {
+  for (std::uint32_t r = 3; r <= 5; ++r) {
+    for (std::uint32_t n = 1; n <= 3; ++n) {
+      std::vector<std::uint32_t> radices(n, r);
+      if (ghc_track_formula(radices) > 5000) continue;
+      CollinearResult res = collinear_ghc(radices);
+      // f_r(n) = (N - 1) floor(r^2/4) / (r - 1).
+      std::uint64_t N = 1;
+      for (std::uint32_t t = 0; t < n; ++t) N *= r;
+      EXPECT_EQ(res.layout.num_tracks, (N - 1) * (r * r / 4) / (r - 1))
+          << "r=" << r << " n=" << n;
+      EXPECT_TRUE(res.layout.is_valid(res.graph));
+    }
+  }
+}
+
+TEST(CollinearGhc, MixedRadix) {
+  const std::vector<std::uint32_t> radices = {3, 4, 5};
+  CollinearResult res = collinear_ghc(radices);
+  EXPECT_EQ(res.graph.num_nodes(), 60u);
+  // f = f3 -> then r=4: 4*f+4 -> then r=5: 5*f'+6.
+  const std::uint64_t f1 = 3 * 3 / 4;            // 2
+  const std::uint64_t f2 = 4 * f1 + 4 * 4 / 4;   // 12
+  const std::uint64_t f3 = 5 * f2 + 5 * 5 / 4;   // 66
+  EXPECT_EQ(ghc_track_formula(radices), f3);
+  EXPECT_EQ(res.layout.num_tracks, f3);
+  EXPECT_TRUE(res.layout.is_valid(res.graph));
+}
+
+TEST(CollinearGhc, Radix2IsHypercubeGraph) {
+  CollinearResult res = collinear_ghc({2, 2, 2});
+  EXPECT_EQ(res.graph.num_nodes(), 8u);
+  EXPECT_EQ(res.graph.num_edges(), 12u);
+  EXPECT_TRUE(res.layout.is_valid(res.graph));
+}
+
+TEST(CollinearHypercube, Figure4FourCube) {
+  // Fig. 4: the 4-cube lays out in floor(2*16/3) = 10 tracks.
+  CollinearResult r = collinear_hypercube(4);
+  EXPECT_EQ(r.layout.num_tracks, 10u);
+  EXPECT_TRUE(r.layout.is_valid(r.graph));
+}
+
+TEST(CollinearHypercube, TwoThirdsFormulaSweep) {
+  for (std::uint32_t n = 1; n <= 10; ++n) {
+    CollinearResult r = collinear_hypercube(n);
+    EXPECT_EQ(r.layout.num_tracks, (2ull << n) / 3) << "n=" << n;
+    EXPECT_EQ(r.graph.num_edges(), static_cast<EdgeId>(n) << (n - 1));
+    EXPECT_TRUE(r.layout.is_valid(r.graph)) << "n=" << n;
+  }
+}
+
+TEST(CollinearGreedy, MatchesOrderDensity) {
+  CollinearResult hc = collinear_hypercube(5);
+  CollinearLayout greedy = collinear_greedy(hc.graph, hc.layout.order);
+  EXPECT_TRUE(greedy.is_valid(hc.graph));
+  // Greedy is optimal for the ordering, so never worse than the construction.
+  EXPECT_LE(greedy.num_tracks, hc.layout.num_tracks);
+}
+
+TEST(CollinearLayout, SpanAccounting) {
+  CollinearResult r = collinear_ring(5);
+  EXPECT_EQ(r.layout.max_span(r.graph), 4u);
+  // 4 unit links + the wraparound of span 4.
+  EXPECT_EQ(r.layout.total_span(r.graph), 8u);
+}
+
+TEST(CollinearLayout, ValidityRejectsCorruption) {
+  CollinearResult r = collinear_ring(6);
+  CollinearLayout bad = r.layout;
+  bad.edge_track[0] = bad.edge_track[5];  // collide with the wrap track
+  EXPECT_FALSE(bad.is_valid(r.graph));
+}
+
+}  // namespace
+}  // namespace mlvl

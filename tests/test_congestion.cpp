@@ -1,0 +1,81 @@
+#include "analysis/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/multilayer.hpp"
+#include "layout/ghc_layout.hpp"
+#include "layout/hypercube_layout.hpp"
+
+namespace mlvl {
+namespace {
+
+TEST(Congestion, HandBuiltReport) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  LayoutGeometry geom;
+  geom.num_layers = 3;
+  geom.width = geom.height = 20;
+  geom.segs = {{0, 0, 10, 0, 1, 0}, {0, 1, 4, 1, 1, 1}, {5, 0, 5, 5, 3, 0}};
+  geom.vias = {{5, 0, 1, 3, 0}};
+  analysis::CongestionReport rep = analysis::analyze_congestion(g, geom);
+  ASSERT_EQ(rep.layers.size(), 3u);
+  EXPECT_EQ(rep.layers[0].wire_length, 14u);
+  EXPECT_EQ(rep.layers[0].segments, 2u);
+  EXPECT_EQ(rep.layers[1].wire_length, 0u);
+  EXPECT_EQ(rep.layers[2].wire_length, 5u);
+  EXPECT_EQ(rep.via_count, 1u);
+  EXPECT_EQ(rep.max_via_span, 2u);
+  // Two used layers with 14 and 5: balance = 14 * 2 / 19.
+  EXPECT_NEAR(rep.balance, 14.0 * 2 / 19, 1e-9);
+  // Edge lengths: 15 (edge 0) and 4 (edge 1).
+  EXPECT_EQ(rep.max, 15u);
+  EXPECT_EQ(rep.p50, 4u);
+}
+
+TEST(Congestion, LayersFillAsLGrows) {
+  Orthogonal2Layer o = layout::layout_ghc(8, 2);
+  for (std::uint32_t L : {2u, 4u, 8u}) {
+    MultilayerLayout ml = realize(o, {.L = L});
+    analysis::CongestionReport rep =
+        analysis::analyze_congestion(o.graph, ml.geom);
+    std::uint32_t used = 0;
+    for (const auto& u : rep.layers)
+      if (u.wire_length > 0) ++used;
+    EXPECT_EQ(used, L) << "L=" << L;  // every layer carries wiring
+  }
+}
+
+TEST(Congestion, BalanceIsReasonable) {
+  // The track partition splits bands into equal groups, so no layer should
+  // carry more than ~2x the mean.
+  Orthogonal2Layer o = layout::layout_hypercube(8);
+  MultilayerLayout ml = realize(o, {.L = 8});
+  analysis::CongestionReport rep =
+      analysis::analyze_congestion(o.graph, ml.geom);
+  EXPECT_GE(rep.balance, 1.0);
+  EXPECT_LE(rep.balance, 2.5);
+}
+
+TEST(Congestion, ViaSpanTracksTerminals) {
+  // Terminal vias climb from the node layer to the wire group, so the max
+  // via span grows with L.
+  Orthogonal2Layer o = layout::layout_hypercube(6);
+  MultilayerLayout m2 = realize(o, {.L = 2});
+  MultilayerLayout m8 = realize(o, {.L = 8});
+  analysis::CongestionReport r2 = analysis::analyze_congestion(o.graph, m2.geom);
+  analysis::CongestionReport r8 = analysis::analyze_congestion(o.graph, m8.geom);
+  EXPECT_GT(r8.max_via_span, r2.max_via_span);
+}
+
+TEST(Congestion, EmptyGeometry) {
+  Graph g(1);
+  LayoutGeometry geom;
+  geom.num_layers = 2;
+  analysis::CongestionReport rep = analysis::analyze_congestion(g, geom);
+  EXPECT_EQ(rep.balance, 0.0);
+  EXPECT_EQ(rep.max, 0u);
+}
+
+}  // namespace
+}  // namespace mlvl

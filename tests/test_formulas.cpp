@@ -1,0 +1,74 @@
+#include "analysis/formulas.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlvl {
+namespace {
+
+namespace f = formulas;
+
+TEST(Formulas, EvenOddLayerDivisor) {
+  // Even L divides by L^2, odd by L^2 - 1 (both per the paper).
+  EXPECT_DOUBLE_EQ(f::hypercube_area(64, 4), 16.0 * 64 * 64 / (9.0 * 16));
+  EXPECT_DOUBLE_EQ(f::hypercube_area(64, 5), 16.0 * 64 * 64 / (9.0 * 24));
+}
+
+TEST(Formulas, KaryMatchesPaper) {
+  // Sec. 3.1: 16 N^2 / (L^2 k^2).
+  EXPECT_DOUBLE_EQ(f::kary_area(81, 3, 4), 16.0 * 81 * 81 / (16.0 * 9));
+  EXPECT_DOUBLE_EQ(f::kary_volume(81, 3, 4), f::kary_area(81, 3, 4) * 4);
+}
+
+TEST(Formulas, GhcMatchesPaper) {
+  // Sec. 4.1: r^2 N^2 / (4 L^2); max wire rN/(2L); path wire rN/L.
+  EXPECT_DOUBLE_EQ(f::ghc_area(64, 8, 2), 64.0 * 64 * 64 / (4.0 * 4));
+  EXPECT_DOUBLE_EQ(f::ghc_max_wire(64, 8, 4), 8.0 * 64 / 8.0);
+  EXPECT_DOUBLE_EQ(f::ghc_path_wire(64, 8, 4), 2 * f::ghc_max_wire(64, 8, 4));
+}
+
+TEST(Formulas, HsnQuarterOfGhc) {
+  // Sec. 4.3: N^2/(4L^2) = GHC area with r cancelled by the nucleus.
+  EXPECT_DOUBLE_EQ(f::hsn_area(256, 4), 256.0 * 256 / (4.0 * 16));
+  EXPECT_DOUBLE_EQ(f::hsn_max_wire(256, 4), 256.0 / 8);
+  EXPECT_DOUBLE_EQ(f::hsn_path_wire(256, 4), 256.0 / 4);
+}
+
+TEST(Formulas, ButterflyMatchesPaper) {
+  // Sec. 4.2 at N = 1024: 4 N^2/(L^2 log^2 N), log2 N = 10.
+  EXPECT_DOUBLE_EQ(f::butterfly_area(1024, 2), 4.0 * 1024 * 1024 / (4.0 * 100));
+  EXPECT_DOUBLE_EQ(f::butterfly_max_wire(1024, 2), 2.0 * 1024 / 20);
+}
+
+TEST(Formulas, CccScalesDownByLogSquared) {
+  const double hc = f::hypercube_area(1 << 10, 2);
+  const double cc = f::ccc_area(1 << 10, 2);
+  EXPECT_NEAR(hc / cc, 100.0, 1e-9);  // log2^2 N with N=2^10
+}
+
+TEST(Formulas, FoldedAndEnhancedConstants) {
+  // Sec. 5.3: 49/9 and 100/9 vs the plain 16/9.
+  const std::uint64_t N = 256;
+  EXPECT_NEAR(f::folded_hypercube_area(N, 2) / f::hypercube_area(N, 2),
+              49.0 / 16.0, 1e-12);
+  EXPECT_NEAR(f::enhanced_cube_area(N, 2) / f::hypercube_area(N, 2),
+              100.0 / 16.0, 1e-12);
+}
+
+TEST(Formulas, ClaimFactors) {
+  EXPECT_DOUBLE_EQ(f::claim_area_factor(2), 1.0);
+  EXPECT_DOUBLE_EQ(f::claim_area_factor(8), 16.0);
+  EXPECT_DOUBLE_EQ(f::claim_area_factor(5), 6.0);  // (L^2-1)/4
+  EXPECT_DOUBLE_EQ(f::claim_volume_factor(8), 4.0);
+  EXPECT_DOUBLE_EQ(f::claim_wire_factor(6), 3.0);
+}
+
+TEST(Formulas, AreaTimesLIsVolume) {
+  for (std::uint32_t L : {2u, 4u, 6u}) {
+    EXPECT_DOUBLE_EQ(f::ghc_volume(81, 3, L), f::ghc_area(81, 3, L) * L);
+    EXPECT_DOUBLE_EQ(f::butterfly_volume(320, L), f::butterfly_area(320, L) * L);
+    EXPECT_DOUBLE_EQ(f::hsn_volume(125, L), f::hsn_area(125, L) * L);
+  }
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,82 @@
+// Geometry primitives and metric computation on hand-built layouts.
+#include <gtest/gtest.h>
+
+#include "core/geometry.hpp"
+#include "core/metrics.hpp"
+
+namespace mlvl {
+namespace {
+
+TEST(Geometry, WireSegBasics) {
+  WireSeg h{2, 5, 9, 5, 1, 0};
+  EXPECT_TRUE(h.horizontal());
+  EXPECT_EQ(h.length(), 7u);
+  WireSeg v{3, 1, 3, 6, 2, 0};
+  EXPECT_FALSE(v.horizontal());
+  EXPECT_EQ(v.length(), 5u);
+  WireSeg pt{4, 4, 4, 4, 1, 0};
+  EXPECT_EQ(pt.length(), 0u);
+}
+
+TEST(Geometry, NodeBoxContains) {
+  NodeBox b{10, 20, 3, 2, 0};
+  EXPECT_TRUE(b.contains(10, 20));
+  EXPECT_TRUE(b.contains(12, 21));
+  EXPECT_FALSE(b.contains(13, 20));  // half-open on the far side
+  EXPECT_FALSE(b.contains(10, 22));
+  EXPECT_FALSE(b.contains(9, 20));
+}
+
+TEST(Geometry, AreaAndVolume) {
+  LayoutGeometry g;
+  g.width = 10;
+  g.height = 7;
+  g.num_layers = 6;
+  EXPECT_EQ(g.area(), 70u);
+  EXPECT_EQ(g.volume(), 420u);
+}
+
+TEST(Metrics, HandBuiltLayout) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // parallel edge
+
+  MultilayerLayout ml;
+  ml.L = 4;
+  ml.wiring_width = 3;
+  ml.wiring_height = 2;
+  ml.geom.num_layers = 4;
+  ml.geom.width = 20;
+  ml.geom.height = 10;
+  ml.geom.segs = {
+      {0, 0, 10, 0, 1, 0},  // edge 0: 10
+      {10, 0, 10, 4, 2, 0},  // edge 0: +4
+      {0, 1, 5, 1, 3, 1},    // edge 1: 5
+  };
+  ml.geom.vias = {{10, 0, 1, 2, 0}};
+
+  LayoutMetrics m = compute_metrics(ml, g);
+  EXPECT_EQ(m.area, 200u);
+  EXPECT_EQ(m.volume, 800u);
+  EXPECT_EQ(m.wiring_area, 6u);
+  ASSERT_EQ(m.edge_length.size(), 2u);
+  EXPECT_EQ(m.edge_length[0], 14u);
+  EXPECT_EQ(m.edge_length[1], 5u);
+  EXPECT_EQ(m.total_wire_length, 19u);
+  EXPECT_EQ(m.max_wire_length, 14u);
+  EXPECT_EQ(m.max_wire_edge, 0u);
+  EXPECT_EQ(m.via_count, 1u);
+}
+
+TEST(Metrics, EmptyEdgesYieldZeroLengths) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  MultilayerLayout ml;
+  ml.geom.num_layers = 2;
+  LayoutMetrics m = compute_metrics(ml, g);
+  EXPECT_EQ(m.total_wire_length, 0u);
+  EXPECT_EQ(m.max_wire_length, 0u);
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,107 @@
+#include "core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mlvl {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.is_regular());
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  EXPECT_EQ(e0, 0u);
+  EXPECT_EQ(e1, 1u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(0).u, 0u);
+  EXPECT_EQ(g.edge(0).v, 1u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(Graph, NeighborsAndDegrees) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  auto nbrs = g.neighbors(0);
+  EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST(Graph, NeighborsValidAfterMutation) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.degree(0), 1u);  // builds CSR
+  g.add_edge(0, 2);            // invalidates CSR
+  EXPECT_EQ(g.degree(0), 2u);  // rebuilt
+}
+
+TEST(Graph, IncidentEdgesMatchNeighbors) {
+  Graph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  auto nbrs = g.neighbors(2);
+  auto eids = g.incident_edges(2);
+  ASSERT_EQ(nbrs.size(), eids.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const Edge& e = g.edge(eids[i]);
+    EXPECT_TRUE((e.u == 2 && e.v == nbrs[i]) || (e.v == 2 && e.u == nbrs[i]));
+  }
+}
+
+TEST(Graph, ParallelEdgesCounted) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_TRUE(g.has_parallel_edges());
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Graph, NoParallelEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.has_parallel_edges());
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, Regularity) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.is_regular());
+  g.add_edge(0, 2);
+  EXPECT_FALSE(g.is_regular());
+}
+
+}  // namespace
+}  // namespace mlvl

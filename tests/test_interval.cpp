@@ -1,0 +1,106 @@
+#include "core/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace mlvl {
+namespace {
+
+TEST(Interval, EmptyInput) {
+  TrackAssignment ta = assign_tracks_left_edge({});
+  EXPECT_EQ(ta.num_tracks, 0u);
+  EXPECT_TRUE(ta.track.empty());
+}
+
+TEST(Interval, SingleInterval) {
+  TrackAssignment ta = assign_tracks_left_edge({{0, 5, 0}});
+  EXPECT_EQ(ta.num_tracks, 1u);
+  EXPECT_EQ(ta.track[0], 0u);
+}
+
+TEST(Interval, RejectsDegenerate) {
+  EXPECT_THROW(assign_tracks_left_edge({{3, 3, 0}}), std::invalid_argument);
+  EXPECT_THROW(assign_tracks_left_edge({{5, 3, 0}}), std::invalid_argument);
+}
+
+TEST(Interval, AbuttingShareTrack) {
+  std::vector<Interval> ivs = {{0, 2, 0}, {2, 4, 1}, {4, 6, 2}};
+  TrackAssignment ta = assign_tracks_left_edge(ivs);
+  EXPECT_EQ(ta.num_tracks, 1u);
+  EXPECT_TRUE(assignment_is_valid(ivs, ta));
+}
+
+TEST(Interval, OverlappingNeedSeparateTracks) {
+  std::vector<Interval> ivs = {{0, 3, 0}, {1, 4, 1}, {2, 5, 2}};
+  TrackAssignment ta = assign_tracks_left_edge(ivs);
+  EXPECT_EQ(ta.num_tracks, 3u);
+  EXPECT_TRUE(assignment_is_valid(ivs, ta));
+}
+
+TEST(Interval, DensityMatchesOptimal) {
+  // Nested and staggered intervals: optimal track count equals density.
+  std::vector<Interval> ivs = {{0, 10, 0}, {1, 3, 1}, {2, 5, 2},
+                               {4, 9, 3},  {5, 7, 4}, {8, 12, 5}};
+  TrackAssignment ta = assign_tracks_left_edge(ivs);
+  EXPECT_EQ(ta.num_tracks, interval_density(ivs));
+  EXPECT_TRUE(assignment_is_valid(ivs, ta));
+}
+
+TEST(Interval, DensityIgnoresAbutment) {
+  std::vector<Interval> ivs = {{0, 2, 0}, {2, 4, 1}};
+  EXPECT_EQ(interval_density(ivs), 1u);
+}
+
+TEST(Interval, CompleteGraphDensity) {
+  // K_n intervals on 0..n-1 have density floor(n^2/4) (the midpoint cut).
+  for (std::uint32_t n : {4u, 5u, 8u, 9u, 12u}) {
+    std::vector<Interval> ivs;
+    for (std::uint32_t a = 0; a < n; ++a)
+      for (std::uint32_t b = a + 1; b < n; ++b) ivs.push_back({a, b, 0});
+    EXPECT_EQ(interval_density(ivs), n * n / 4) << "n=" << n;
+    TrackAssignment ta = assign_tracks_left_edge(ivs);
+    EXPECT_EQ(ta.num_tracks, n * n / 4) << "n=" << n;
+    EXPECT_TRUE(assignment_is_valid(ivs, ta));
+  }
+}
+
+TEST(Interval, ValidatorCatchesOverlap) {
+  std::vector<Interval> ivs = {{0, 3, 0}, {2, 5, 1}};
+  TrackAssignment bad;
+  bad.track = {0, 0};
+  bad.num_tracks = 1;
+  EXPECT_FALSE(assignment_is_valid(ivs, bad));
+}
+
+TEST(Interval, ValidatorCatchesRangeErrors) {
+  std::vector<Interval> ivs = {{0, 3, 0}};
+  TrackAssignment bad;
+  bad.track = {5};
+  bad.num_tracks = 1;
+  EXPECT_FALSE(assignment_is_valid(ivs, bad));
+  bad.track = {};
+  EXPECT_FALSE(assignment_is_valid(ivs, bad));
+}
+
+TEST(Interval, LargeRandomisedOptimality) {
+  // Pseudo-random intervals: greedy must equal density and stay valid.
+  std::uint64_t state = 12345;
+  auto rnd = [&state](std::uint32_t m) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>((state >> 33) % m);
+  };
+  std::vector<Interval> ivs;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const std::uint32_t lo = rnd(1000);
+    ivs.push_back({lo, lo + 1 + rnd(60), i});
+  }
+  TrackAssignment ta = assign_tracks_left_edge(ivs);
+  EXPECT_EQ(ta.num_tracks, interval_density(ivs));
+  EXPECT_TRUE(assignment_is_valid(ivs, ta));
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,101 @@
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/checker.hpp"
+#include "core/multilayer.hpp"
+#include "layout/kary_layout.hpp"
+
+namespace mlvl {
+namespace {
+
+TEST(Io, GraphRoundTrip) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  g.add_edge(1, 4);
+  std::stringstream ss;
+  io::write_graph(ss, g);
+  auto back = io::read_graph(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_nodes(), 5u);
+  ASSERT_EQ(back->num_edges(), 3u);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(back->edge(e), g.edge(e));
+}
+
+TEST(Io, GeometryRoundTrip) {
+  LayoutGeometry geom;
+  geom.width = 30;
+  geom.height = 20;
+  geom.num_layers = 6;
+  geom.boxes = {{1, 2, 3, 3, 0, 1}, {10, 2, 3, 3, 1, 5}};
+  geom.segs = {{1, 1, 9, 1, 3, 0}, {4, 0, 4, 9, 2, 1}};
+  geom.vias = {{4, 0, 1, 2, 1}};
+  std::stringstream ss;
+  io::write_geometry(ss, geom);
+  auto back = io::read_geometry(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->width, 30u);
+  EXPECT_EQ(back->num_layers, 6u);
+  ASSERT_EQ(back->boxes.size(), 2u);
+  EXPECT_EQ(back->boxes[1].layer, 5u);
+  ASSERT_EQ(back->segs.size(), 2u);
+  EXPECT_EQ(back->segs[0].x2, 9u);
+  ASSERT_EQ(back->vias.size(), 1u);
+  EXPECT_EQ(back->vias[0].z2, 2u);
+}
+
+TEST(Io, FullLayoutRoundTripStaysValid) {
+  Orthogonal2Layer o = layout::layout_kary(3, 2);
+  MultilayerLayout ml = realize(o, {.L = 4});
+  const std::string path = testing::TempDir() + "/mlvl_io_test.txt";
+  ASSERT_TRUE(io::save_layout(path, o.graph, ml.geom));
+  auto loaded = io::load_layout(path);
+  ASSERT_TRUE(loaded.has_value());
+  // The reloaded layout must still pass the full geometric checker.
+  CheckResult res = check_layout(loaded->graph, loaded->geom);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(loaded->geom.segs.size(), ml.geom.segs.size());
+  EXPECT_EQ(loaded->geom.vias.size(), ml.geom.vias.size());
+}
+
+TEST(Io, RejectsMalformedHeader) {
+  std::stringstream ss("mlvl-graph 2\nnodes 3\n");
+  EXPECT_FALSE(io::read_graph(ss).has_value());
+  std::stringstream ss2("not-a-tag 1\n");
+  EXPECT_FALSE(io::read_graph(ss2).has_value());
+}
+
+TEST(Io, RejectsBadEdges) {
+  std::stringstream ss("mlvl-graph 1\nnodes 3\nedge 0 7\n");
+  EXPECT_FALSE(io::read_graph(ss).has_value());
+  std::stringstream ss2("mlvl-graph 1\nnodes 3\nedge 1 1\n");
+  EXPECT_FALSE(io::read_graph(ss2).has_value());
+}
+
+TEST(Io, LoadMissingFileFails) {
+  EXPECT_FALSE(io::load_layout("/nonexistent/file.txt").has_value());
+}
+
+TEST(Io, ConsecutiveSectionsParse) {
+  // Graph followed by geometry in one stream (the save_layout format).
+  Graph g(2);
+  g.add_edge(0, 1);
+  LayoutGeometry geom;
+  geom.width = 4;
+  geom.height = 4;
+  geom.num_layers = 2;
+  std::stringstream ss;
+  io::write_graph(ss, g);
+  io::write_geometry(ss, geom);
+  auto g2 = io::read_graph(ss);
+  ASSERT_TRUE(g2.has_value());
+  auto geom2 = io::read_geometry(ss);
+  ASSERT_TRUE(geom2.has_value());
+  EXPECT_EQ(geom2->width, 4u);
+}
+
+}  // namespace
+}  // namespace mlvl

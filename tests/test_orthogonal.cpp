@@ -1,0 +1,97 @@
+#include "core/orthogonal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/kary_ncube.hpp"
+
+namespace mlvl {
+namespace {
+
+Placement grid_placement(NodeId n, std::uint32_t cols) {
+  Placement p;
+  p.cols = cols;
+  p.rows = (n + cols - 1) / cols;
+  p.row_of.resize(n);
+  p.col_of.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    p.row_of[u] = u / cols;
+    p.col_of[u] = u % cols;
+  }
+  return p;
+}
+
+TEST(Orthogonal, GreedyClassifiesEdges) {
+  // 2x2 grid with one row edge, one column edge, one diagonal (extra).
+  Graph g(4);
+  g.add_edge(0, 1);  // row 0
+  g.add_edge(0, 2);  // col 0
+  g.add_edge(0, 3);  // diagonal
+  Orthogonal2Layer o = orthogonal_greedy(std::move(g), grid_placement(4, 2));
+  EXPECT_EQ(o.kind[0], EdgeKind::kRow);
+  EXPECT_EQ(o.kind[1], EdgeKind::kCol);
+  EXPECT_EQ(o.kind[2], EdgeKind::kExtra);
+  ASSERT_EQ(o.extras.size(), 1u);
+  EXPECT_EQ(o.extras[0].hband, 0u);  // u = node 0, row 0
+  EXPECT_EQ(o.extras[0].vband, 1u);  // v = node 3, col 1
+  EXPECT_TRUE(o.is_valid());
+}
+
+TEST(Orthogonal, GreedyTracksPerBand) {
+  // A row with 3 pairwise-overlapping edges needs 3 tracks in that band.
+  Graph g(8);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(0, 3);
+  Orthogonal2Layer o = orthogonal_greedy(std::move(g), grid_placement(8, 4));
+  EXPECT_EQ(o.row_tracks[0], 3u);
+  EXPECT_EQ(o.row_tracks[1], 0u);
+  EXPECT_TRUE(o.is_valid());
+}
+
+TEST(Orthogonal, ComposeProductBuildsTorus) {
+  CollinearResult row = collinear_kary(3, 1);
+  CollinearResult col = collinear_kary(3, 1);
+  Orthogonal2Layer o = compose_product(row, col);
+  EXPECT_EQ(o.graph.num_nodes(), 9u);
+  EXPECT_EQ(o.graph.num_edges(), 18u);  // 3 rows * 3 + 3 cols * 3
+  EXPECT_TRUE(o.is_valid());
+  // Every band got the ring's 2 tracks.
+  for (std::uint32_t t : o.row_tracks) EXPECT_EQ(t, 2u);
+  for (std::uint32_t t : o.col_tracks) EXPECT_EQ(t, 2u);
+  // The composed graph is the 3-ary 2-cube.
+  Graph torus = topo::make_kary_ncube(3, 2);
+  EXPECT_EQ(o.graph.num_edges(), torus.num_edges());
+}
+
+TEST(Orthogonal, AddExtraEdge) {
+  CollinearResult row = collinear_kary(3, 1);
+  CollinearResult col = collinear_kary(3, 1);
+  Orthogonal2Layer o = compose_product(row, col);
+  const EdgeId e = o.add_extra_edge(0, 8);
+  EXPECT_EQ(o.kind[e], EdgeKind::kExtra);
+  EXPECT_EQ(o.extras.back().edge, e);
+  EXPECT_EQ(o.extras.back().hband, o.place.row_of[0]);
+  EXPECT_EQ(o.extras.back().vband, o.place.col_of[8]);
+  EXPECT_TRUE(o.is_valid());
+}
+
+TEST(Orthogonal, MaxTracksAccessors) {
+  Graph g(8);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(4, 7);
+  Orthogonal2Layer o = orthogonal_greedy(std::move(g), grid_placement(8, 4));
+  EXPECT_EQ(o.max_row_tracks(), 2u);
+  EXPECT_EQ(o.max_col_tracks(), 0u);
+}
+
+TEST(Orthogonal, ValidityCatchesTrackOverflow) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  Orthogonal2Layer o = orthogonal_greedy(std::move(g), grid_placement(4, 2));
+  o.track[0] = 7;  // beyond row_tracks[0]
+  EXPECT_FALSE(o.is_valid());
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,127 @@
+// Focused reproduction tests for every numbered closed form in the paper,
+// at sizes where the arithmetic is exact — the tightest regression net for
+// the reproduction itself. Each test names the paper location it pins down.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "core/checker.hpp"
+#include "core/collinear.hpp"
+#include "core/metrics.hpp"
+#include "layout/folded_hc_layout.hpp"
+#include "layout/ghc_layout.hpp"
+#include "layout/hypercube_layout.hpp"
+#include "layout/kary_layout.hpp"
+
+namespace mlvl {
+namespace {
+
+// --- Sec. 3.1: f_k(n) = 2 (k^n - 1)/(k - 1) -------------------------------
+
+TEST(PaperSec31, CollinearRecurrenceFixedPoints) {
+  // f_k(n+1) = k f_k(n) + 2, checked as the recurrence, not the closed form.
+  for (std::uint32_t k : {3u, 5u, 7u}) {
+    std::uint64_t f = 2;
+    for (std::uint32_t n = 2; n <= 3; ++n) {
+      f = k * f + 2;
+      EXPECT_EQ(kary_track_formula(k, n), f) << "k=" << k << " n=" << n;
+      EXPECT_EQ(collinear_kary(k, n).layout.num_tracks, f);
+    }
+  }
+}
+
+TEST(PaperSec31, TracksPerLayerMatchCeiling) {
+  // "the number of tracks per layer above a row is ceil(4 (k^{n/2}-1) /
+  //  (L (k-1)))" — our per-band split must reproduce it exactly.
+  const std::uint32_t k = 3, n = 4, L = 6;
+  Orthogonal2Layer o = layout::layout_kary(k, n);
+  MultilayerLayout ml = realize(o, {.L = L});
+  const std::uint64_t f = kary_track_formula(k, n / 2);  // 8
+  const std::uint64_t per_layer = (f + L / 2 - 1) / (L / 2);
+  EXPECT_EQ(ml.wiring_height, o.place.rows * per_layer);
+}
+
+// --- Sec. 4.1: f_r(n) = (N-1) floor(r^2/4) / (r-1) -------------------------
+
+TEST(PaperSec41, GhcRecurrence) {
+  for (std::uint32_t r : {4u, 6u, 9u}) {
+    std::uint64_t f = r * r / 4;
+    for (std::uint32_t n = 2; n <= 2; ++n) {
+      f = r * f + r * r / 4;
+      EXPECT_EQ(ghc_track_formula(std::vector<std::uint32_t>(n, r)), f);
+    }
+  }
+}
+
+TEST(PaperSec41, GhcAreaIsExactlyPaperAtPowersOfTwo) {
+  // r^2 N^2 / (4 L^2): exact whenever the track counts divide the groups.
+  for (std::uint32_t r : {4u, 8u}) {
+    Orthogonal2Layer o = layout::layout_ghc(r, 2);
+    const std::uint64_t N = o.graph.num_nodes();
+    for (std::uint32_t L : {2u, 4u}) {
+      MultilayerLayout ml = realize(o, {.L = L});
+      const double paper = double(r) * r * N * N / (4.0 * L * L);
+      EXPECT_DOUBLE_EQ(double(ml.wiring_width) * ml.wiring_height, paper)
+          << "r=" << r << " L=" << L;
+    }
+  }
+}
+
+// --- Sec. 5.1: floor(2N/3) tracks, 2-track 2-cube basis --------------------
+
+TEST(PaperSec51, HypercubeRecurrences) {
+  // Even n: f(n) = 4 f(n-2) + 2; odd n: f(n) = 2 f(n-1) + 1.
+  std::uint64_t f2 = 2;
+  for (std::uint32_t n = 4; n <= 12; n += 2) {
+    f2 = 4 * f2 + 2;
+    EXPECT_EQ(hypercube_track_formula(n), f2) << "n=" << n;
+    EXPECT_EQ(hypercube_track_formula(n + 1), 2 * f2 + 1) << "n odd";
+  }
+}
+
+TEST(PaperSec51, TwoCubeBasisIsFigureFour) {
+  // The 2-cube basis: 4-cycle in 2 tracks with the 0,1,3,2 ordering.
+  CollinearResult r = collinear_hypercube(2);
+  EXPECT_EQ(r.layout.num_tracks, 2u);
+  EXPECT_EQ(r.layout.order[0], 0u);
+  EXPECT_EQ(r.layout.order[1], 1u);
+  EXPECT_EQ(r.layout.order[2], 3u);
+  EXPECT_EQ(r.layout.order[3], 2u);
+}
+
+// --- Sec. 2.2: the L^2/4 / L/2 reduction factors ---------------------------
+
+TEST(PaperSec22, ReductionFactorsExactOnDivisibleTracks) {
+  Orthogonal2Layer o = layout::layout_ghc(8, 2);  // 16 tracks per band
+  MultilayerLayout m2 = realize(o, {.L = 2});
+  for (std::uint32_t L : {4u, 8u, 16u}) {
+    MultilayerLayout ml = realize(o, {.L = L});
+    const double area_red =
+        double(m2.wiring_width) * m2.wiring_height /
+        (double(ml.wiring_width) * ml.wiring_height);
+    EXPECT_DOUBLE_EQ(area_red, double(L) * L / 4.0) << "L=" << L;
+    const double vol_red = area_red * 2 / L;
+    EXPECT_DOUBLE_EQ(vol_red, L / 2.0) << "L=" << L;
+  }
+}
+
+// --- Sec. 1: optimality against the bisection bound ------------------------
+
+TEST(PaperSec1, GhcMeetsThompsonBound) {
+  for (std::uint32_t r : {4u, 8u, 16u}) {
+    Orthogonal2Layer o = layout::layout_ghc(r, 2);
+    MultilayerLayout ml = realize(o, {.L = 2});
+    const std::uint64_t B = analysis::ghc_bisection(r, 2);
+    EXPECT_EQ(std::uint64_t(ml.wiring_width) * ml.wiring_height, B * B)
+        << "r=" << r;
+  }
+}
+
+// --- Sec. 5.3: the extra-track accounting ----------------------------------
+
+TEST(PaperSec53, FoldedHypercubeHasHalfNExtras) {
+  Orthogonal2Layer o = layout::layout_folded_hypercube(6);
+  EXPECT_EQ(o.extras.size(), 32u);  // N/2 diameter links
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,63 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/collinear.hpp"
+
+namespace mlvl {
+namespace {
+
+TEST(Placement, ProductPlacementBasic) {
+  // 2 x 3 grid: low factor size 3 (columns), high factor size 2 (rows).
+  Placement p = product_placement(6, 3, {0, 1, 2}, {0, 1});
+  EXPECT_EQ(p.rows, 2u);
+  EXPECT_EQ(p.cols, 3u);
+  EXPECT_TRUE(p.is_valid(6));
+  EXPECT_EQ(p.row_of[4], 1u);  // node 4 = hi 1, lo 1
+  EXPECT_EQ(p.col_of[4], 1u);
+}
+
+TEST(Placement, RespectsFactorPositions) {
+  // Low factor permuted: label 0 at column 2, label 1 at 0, label 2 at 1.
+  Placement p = product_placement(3, 3, {2, 0, 1}, {0});
+  EXPECT_EQ(p.col_of[0], 2u);
+  EXPECT_EQ(p.col_of[1], 0u);
+  EXPECT_EQ(p.col_of[2], 1u);
+  EXPECT_TRUE(p.is_valid(3));
+}
+
+TEST(Placement, RejectsBadSizes) {
+  EXPECT_THROW(product_placement(7, 3, {0, 1, 2}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(product_placement(6, 3, {0, 1}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(product_placement(6, 0, {}, {}), std::invalid_argument);
+}
+
+TEST(Placement, ValidityDetectsCollision) {
+  Placement p = product_placement(4, 2, {0, 1}, {0, 1});
+  p.col_of[1] = 0;  // two nodes at (0, 0)
+  EXPECT_FALSE(p.is_valid(4));
+}
+
+TEST(Placement, ValidityDetectsOutOfRange) {
+  Placement p = product_placement(4, 2, {0, 1}, {0, 1});
+  p.row_of[0] = 9;
+  EXPECT_FALSE(p.is_valid(4));
+}
+
+TEST(Placement, MatchesPaperDigitSplit) {
+  // Sec. 3.1: for a k-ary n-cube, i = high ceil(n/2) digits, j = low digits.
+  // Composing with identity factor layouts must reproduce exactly that.
+  const std::uint32_t k = 3, n_low = 2;
+  CollinearResult low = collinear_kary(k, n_low);
+  CollinearResult high = collinear_kary(k, 1);
+  Placement p = product_placement(27, 9, low.layout.pos, high.layout.pos);
+  for (NodeId u = 0; u < 27; ++u) {
+    EXPECT_EQ(p.col_of[u], low.layout.pos[u % 9]);
+    EXPECT_EQ(p.row_of[u], high.layout.pos[u / 9]);
+  }
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ascii.hpp"
+#include "core/checker.hpp"
+#include "core/collinear.hpp"
+#include "core/svg.hpp"
+#include "layout/kary_layout.hpp"
+
+namespace mlvl {
+namespace {
+
+TEST(Ascii, RingRender) {
+  CollinearResult r = collinear_ring(4);
+  const std::string art = render_collinear_ascii(r.graph, r.layout);
+  // 2 track rows + 1 drop row + 1 label row.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('-'), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('3'), std::string::npos);
+}
+
+TEST(Ascii, Figure2Render) {
+  CollinearResult r = collinear_kary(3, 2);
+  const std::string art = render_collinear_ascii(r.graph, r.layout);
+  // 8 tracks + drop row + label row.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 10);
+}
+
+TEST(Svg, ContainsGeometry) {
+  Orthogonal2Layer o = layout::layout_kary(3, 2);
+  MultilayerLayout ml = realize(o, {.L = 4});
+  const std::string svg = render_svg(ml.geom);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per node box plus the background.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, o.graph.num_nodes() + 1);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+}
+
+TEST(Svg, OptionsRespected) {
+  Orthogonal2Layer o = layout::layout_kary(3, 2);
+  MultilayerLayout ml = realize(o, {.L = 2});
+  SvgOptions opt;
+  opt.draw_vias = false;
+  opt.label_nodes = false;
+  const std::string svg = render_svg(ml.geom, opt);
+  EXPECT_EQ(svg.find("<circle"), std::string::npos);
+  EXPECT_EQ(svg.find("<text"), std::string::npos);
+}
+
+TEST(Svg, WriteToFile) {
+  Orthogonal2Layer o = layout::layout_kary(3, 2);
+  MultilayerLayout ml = realize(o, {.L = 2});
+  const std::string path = testing::TempDir() + "/mlvl_test.svg";
+  EXPECT_TRUE(write_svg(ml.geom, path));
+  EXPECT_FALSE(write_svg(ml.geom, "/nonexistent-dir/x.svg"));
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,61 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mlvl {
+namespace {
+
+TEST(Report, AlignsColumns) {
+  analysis::Table t({"name", "value"});
+  t.begin_row().cell("a").cell(std::uint64_t(1));
+  t.begin_row().cell("longer-name").cell(std::uint64_t(123456));
+  const std::string s = t.str();
+  std::istringstream is(s);
+  std::string l1, l2, l3, l4;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  std::getline(is, l3);
+  std::getline(is, l4);
+  EXPECT_EQ(l1.size(), l3.size());
+  EXPECT_EQ(l3.size(), l4.size());
+  EXPECT_NE(l1.find("name"), std::string::npos);
+  EXPECT_NE(l2.find("---"), std::string::npos);
+  EXPECT_NE(l4.find("123456"), std::string::npos);
+}
+
+TEST(Report, DoubleFormatting) {
+  analysis::Table t({"v"});
+  t.begin_row().cell(3.14159, 2);
+  t.begin_row().cell(2.0, 0);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(s.find("3.142"), std::string::npos);
+  EXPECT_NE(s.find("2\n"), std::string::npos);  // integral rendering, padded
+}
+
+TEST(Report, SignedAndUnsignedCells) {
+  analysis::Table t({"a", "b", "c"});
+  t.begin_row().cell(std::int64_t(-5)).cell(7u).cell(42);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("-5"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Report, EmptyTableStillPrintsHeader) {
+  analysis::Table t({"only", "headers"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("only"), std::string::npos);
+  EXPECT_NE(s.find("headers"), std::string::npos);
+}
+
+TEST(Report, ShortRowsPadded) {
+  analysis::Table t({"a", "b"});
+  t.begin_row().cell("x");  // missing second cell
+  EXPECT_NO_THROW({ const std::string s = t.str(); });
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,118 @@
+#include "analysis/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "core/metrics.hpp"
+#include "layout/ghc_layout.hpp"
+#include "topology/ring.hpp"
+
+namespace mlvl {
+namespace {
+
+TEST(Routing, HopDistancesOnRing) {
+  Graph g = topo::make_ring(8);
+  auto d = analysis::hop_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[4], 4u);
+  EXPECT_EQ(d[7], 1u);
+}
+
+TEST(Routing, WireDistancesRespectLengths) {
+  // Triangle with one expensive edge: Dijkstra prefers the two cheap hops.
+  Graph g(3);
+  g.add_edge(0, 1);  // len 10
+  g.add_edge(1, 2);  // len 1
+  g.add_edge(0, 2);  // len 1
+  const std::uint32_t lens[] = {10, 1, 1};
+  auto d = analysis::wire_distances(g, {lens, 3}, 0);
+  EXPECT_EQ(d[1], 2u);  // via node 2
+  EXPECT_EQ(d[2], 1u);
+}
+
+TEST(Routing, SizeMismatchThrows) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const std::uint32_t lens[] = {1, 2};
+  EXPECT_THROW(analysis::wire_distances(g, {lens, 2}, 0), std::invalid_argument);
+}
+
+TEST(Routing, MaxPathWireExactSmall) {
+  Graph g = topo::make_ring(6);
+  std::vector<std::uint32_t> lens(g.num_edges(), 1);
+  auto st = analysis::max_path_wire(g, lens);
+  EXPECT_TRUE(st.exact);
+  EXPECT_EQ(st.max_path_wire, 3u);  // ring diameter
+  EXPECT_GT(st.mean_path_wire, 0.0);
+}
+
+TEST(Routing, SampledModeForLargeGraphs) {
+  Graph g = topo::make_ring(64);
+  std::vector<std::uint32_t> lens(g.num_edges(), 1);
+  auto st = analysis::max_path_wire(g, lens, /*exact_limit=*/16, /*samples=*/8);
+  EXPECT_FALSE(st.exact);
+  EXPECT_GT(st.max_path_wire, 0u);
+  EXPECT_LE(st.max_path_wire, 32u);
+}
+
+TEST(Traffic, RingLoadsAreBalanced) {
+  Graph g = topo::make_ring(8);
+  std::vector<std::uint32_t> lens(g.num_edges(), 1);
+  auto st = analysis::edge_traffic(g, lens);
+  EXPECT_TRUE(st.exact);
+  // Vertex-transitive ring under uniform traffic: all edges near-equal.
+  const std::uint64_t lo =
+      *std::min_element(st.edge_load.begin(), st.edge_load.end());
+  EXPECT_GT(lo, 0u);
+  EXPECT_LE(st.max_load, lo + 8);  // odd-pair tie-breaks wobble slightly
+}
+
+TEST(Traffic, StarTopologyCentreCarriesAll) {
+  Graph g(4);  // star: node 0 centre
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  std::vector<std::uint32_t> lens(g.num_edges(), 1);
+  auto st = analysis::edge_traffic(g, lens);
+  // Each leaf edge carries: 2 (to/from centre) + 2*2 (through) = 6.
+  for (std::uint64_t l : st.edge_load) EXPECT_EQ(l, 6u);
+}
+
+TEST(Traffic, PrefersShortWires) {
+  // Triangle with one expensive edge: traffic avoids it entirely.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const std::vector<std::uint32_t> lens = {100, 1, 1};
+  auto st = analysis::edge_traffic(g, lens);
+  EXPECT_EQ(st.edge_load[0], 0u);
+  EXPECT_GT(st.edge_load[1], 0u);
+}
+
+TEST(Traffic, SampledModeOnLargeGraph) {
+  Graph g = topo::make_ring(1024);
+  std::vector<std::uint32_t> lens(g.num_edges(), 1);
+  auto st = analysis::edge_traffic(g, lens, /*exact_limit=*/64, /*samples=*/4);
+  EXPECT_FALSE(st.exact);
+  EXPECT_GT(st.max_load, 0u);
+}
+
+TEST(Routing, PathWireShrinksWithLayers) {
+  // Claim (4): total wire along routes shrinks ~L/2 on a GHC. r=16 keeps the
+  // track bands (which compress with L) dominant over node boxes (which do
+  // not), so the measured factor approaches the ideal 4.
+  Orthogonal2Layer o = layout::layout_ghc(16, 2);
+  MultilayerLayout m2 = realize(o, {.L = 2});
+  MultilayerLayout m8 = realize(o, {.L = 8});
+  LayoutMetrics x2 = compute_metrics(m2, o.graph);
+  LayoutMetrics x8 = compute_metrics(m8, o.graph);
+  auto p2 = analysis::max_path_wire(o.graph, x2.edge_length);
+  auto p8 = analysis::max_path_wire(o.graph, x8.edge_length);
+  const double factor = double(p2.max_path_wire) / double(p8.max_path_wire);
+  EXPECT_GT(factor, 2.0);
+  EXPECT_LT(factor, 4.5);
+}
+
+}  // namespace
+}  // namespace mlvl

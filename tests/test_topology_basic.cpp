@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "analysis/routing.hpp"
+#include "topology/complete.hpp"
+#include "topology/generalized_hypercube.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/product.hpp"
+#include "topology/ring.hpp"
+
+namespace mlvl {
+namespace {
+
+using topo::make_complete;
+using topo::make_generalized_hypercube;
+using topo::make_hypercube;
+using topo::make_kary_ncube;
+using topo::make_path;
+using topo::make_product;
+using topo::make_ring;
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (std::uint32_t d : analysis::hop_distances(g, u))
+      best = std::max(best, d);
+  return best;
+}
+
+TEST(Ring, Structure) {
+  Graph g = make_ring(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Path, Structure) {
+  Graph g = make_path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(KaryNcube, TorusStructure) {
+  Graph g = make_kary_ncube(4, 3);
+  EXPECT_EQ(g.num_nodes(), 64u);
+  EXPECT_EQ(g.num_edges(), 64u * 3);  // degree 2n = 6
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(diameter(g), 3u * 2);  // n * floor(k/2)
+}
+
+TEST(KaryNcube, MeshStructure) {
+  Graph g = make_kary_ncube(4, 2, /*wrap=*/false);
+  EXPECT_EQ(g.num_edges(), 2u * 4 * 3);  // 2 * k^(n-1) * (k-1) * n / n ... 24
+  EXPECT_FALSE(g.is_regular());
+  EXPECT_EQ(diameter(g), 6u);  // n * (k-1)
+}
+
+TEST(KaryNcube, K2MatchesHypercube) {
+  Graph a = make_kary_ncube(2, 5);
+  Graph b = make_hypercube(5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(diameter(a), 5u);
+}
+
+TEST(Hypercube, Structure) {
+  Graph g = make_hypercube(6);
+  EXPECT_EQ(g.num_nodes(), 64u);
+  EXPECT_EQ(g.num_edges(), 6u * 32);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(diameter(g), 6u);
+}
+
+TEST(Complete, Structure) {
+  Graph g = make_complete(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(Ghc, UniformStructure) {
+  Graph g = make_generalized_hypercube(4, 3);
+  EXPECT_EQ(g.num_nodes(), 64u);
+  // Degree n(r-1) = 9; edges = N * 9 / 2.
+  EXPECT_EQ(g.num_edges(), 64u * 9 / 2);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(diameter(g), 3u);  // one hop per dimension
+}
+
+TEST(Ghc, MixedRadix) {
+  Graph g = make_generalized_hypercube({2, 3, 4});
+  EXPECT_EQ(g.num_nodes(), 24u);
+  // Degree = (2-1) + (3-1) + (4-1) = 6.
+  EXPECT_EQ(g.num_edges(), 24u * 6 / 2);
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Ghc, Radix2IsHypercube) {
+  Graph a = make_generalized_hypercube(2, 6);
+  Graph b = make_hypercube(6);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(diameter(a), 6u);
+}
+
+TEST(Product, RingTimesRingIsTorus) {
+  Graph p = make_product(make_ring(5), make_ring(5));
+  Graph t = make_kary_ncube(5, 2);
+  EXPECT_EQ(p.num_nodes(), t.num_nodes());
+  EXPECT_EQ(p.num_edges(), t.num_edges());
+  EXPECT_EQ(diameter(p), diameter(t));
+}
+
+TEST(Product, DegreesAdd) {
+  Graph p = make_product(make_complete(4), make_ring(6));
+  EXPECT_EQ(p.num_nodes(), 24u);
+  EXPECT_TRUE(p.is_regular());
+  EXPECT_EQ(p.degree(0), 3u + 2u);
+}
+
+TEST(Validation, ArgumentChecks) {
+  EXPECT_THROW(make_ring(1), std::invalid_argument);
+  EXPECT_THROW(make_kary_ncube(1, 2), std::invalid_argument);
+  EXPECT_THROW(make_hypercube(0), std::invalid_argument);
+  EXPECT_THROW(make_complete(1), std::invalid_argument);
+  EXPECT_THROW(make_generalized_hypercube({}), std::invalid_argument);
+  EXPECT_THROW(make_generalized_hypercube({1, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/routing.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/folded_hypercube.hpp"
+#include "topology/hsn.hpp"
+#include "topology/isn.hpp"
+#include "topology/kary_cluster.hpp"
+#include "topology/reduced_hypercube.hpp"
+#include "topology/ring.hpp"
+
+namespace mlvl {
+namespace {
+
+TEST(Butterfly, WrappedStructure) {
+  topo::Butterfly bf = topo::make_wrapped_butterfly(4);
+  EXPECT_EQ(bf.graph.num_nodes(), 16u * 4);
+  // Wrapped butterfly is 4-regular: edges = 2N.
+  EXPECT_EQ(bf.graph.num_edges(), 2u * bf.graph.num_nodes());
+  EXPECT_TRUE(bf.graph.is_regular());
+  EXPECT_TRUE(bf.graph.is_connected());
+}
+
+TEST(Butterfly, OrdinaryStructure) {
+  topo::Butterfly bf = topo::make_butterfly(3);
+  EXPECT_EQ(bf.graph.num_nodes(), 8u * 4);
+  EXPECT_EQ(bf.graph.num_edges(), 2u * 8 * 3);  // 2R per level transition
+  EXPECT_FALSE(bf.graph.is_regular());          // end levels have degree 2
+  EXPECT_TRUE(bf.graph.is_connected());
+}
+
+TEST(Butterfly, WrappedK2HasNoParallelEdges) {
+  topo::Butterfly bf = topo::make_wrapped_butterfly(2);
+  EXPECT_FALSE(bf.graph.has_parallel_edges());
+  EXPECT_TRUE(bf.graph.is_connected());
+}
+
+TEST(Ccc, Structure) {
+  topo::Ccc c = topo::make_ccc(4);
+  EXPECT_EQ(c.graph.num_nodes(), 4u * 16);
+  // 3-regular: cycle degree 2 + one cube edge.
+  EXPECT_TRUE(c.graph.is_regular());
+  EXPECT_EQ(c.graph.degree(0), 3u);
+  EXPECT_TRUE(c.graph.is_connected());
+}
+
+TEST(Ccc, SmallestCase) {
+  topo::Ccc c = topo::make_ccc(2);
+  EXPECT_EQ(c.graph.num_nodes(), 8u);
+  EXPECT_TRUE(c.graph.is_connected());
+  EXPECT_FALSE(c.graph.has_parallel_edges());
+}
+
+TEST(ReducedHypercube, Structure) {
+  topo::ReducedHypercube rh = topo::make_reduced_hypercube(4);
+  EXPECT_EQ(rh.graph.num_nodes(), 4u * 16);
+  // Degree: log2(4)=2 intra + 1 cube edge = 3.
+  EXPECT_TRUE(rh.graph.is_regular());
+  EXPECT_EQ(rh.graph.degree(0), 3u);
+  EXPECT_TRUE(rh.graph.is_connected());
+}
+
+TEST(ReducedHypercube, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(topo::make_reduced_hypercube(3), std::invalid_argument);
+}
+
+TEST(FoldedHypercube, Structure) {
+  Graph g = topo::make_folded_hypercube(5);
+  EXPECT_EQ(g.num_nodes(), 32u);
+  EXPECT_EQ(g.num_edges(), 5u * 16 + 16);  // hypercube + N/2 diameter links
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(0), 6u);
+  // Diameter halves (ceil(n/2)).
+  std::uint32_t diam = 0;
+  for (std::uint32_t d : analysis::hop_distances(g, 0)) diam = std::max(diam, d);
+  EXPECT_EQ(diam, 3u);
+}
+
+TEST(EnhancedCube, StructureAndDeterminism) {
+  Graph a = topo::make_enhanced_cube(5, 7);
+  Graph b = topo::make_enhanced_cube(5, 7);
+  Graph c = topo::make_enhanced_cube(5, 8);
+  EXPECT_EQ(a.num_edges(), 5u * 16 + 32);  // hypercube + N extra links
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  bool same = true, diff = false;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    same = same && a.edge(e) == b.edge(e);
+    diff = diff || !(a.edge(e) == c.edge(e));
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(diff);
+}
+
+TEST(Hsn, QuotientIsGhcWithSingleLinks) {
+  // 3-level HSN over a 4-node ring: quotient must be a 2-D radix-4 GHC with
+  // exactly one link per neighbouring cluster pair.
+  topo::Hsn h = topo::make_hsn(3, topo::make_ring(4));
+  EXPECT_EQ(h.graph.num_nodes(), 64u);
+  std::map<std::pair<NodeId, NodeId>, std::uint32_t> quotient;
+  for (EdgeId e = h.nucleus_edges; e < h.graph.num_edges(); ++e) {
+    const Edge& ed = h.graph.edge(e);
+    const NodeId cu = ed.u / h.r, cv = ed.v / h.r;
+    EXPECT_NE(cu, cv);
+    auto key = std::minmax(cu, cv);
+    ++quotient[{key.first, key.second}];
+  }
+  // 16 clusters, 2 dims radix 4: edges = 16 * 2*(4-1) / 2 = 48 pairs.
+  EXPECT_EQ(quotient.size(), 48u);
+  for (const auto& [pair, count] : quotient) EXPECT_EQ(count, 1u);
+  EXPECT_TRUE(h.graph.is_connected());
+}
+
+TEST(Hsn, SingleLevelIsNucleus) {
+  topo::Hsn h = topo::make_hsn(1, topo::make_ring(5));
+  EXPECT_EQ(h.graph.num_nodes(), 5u);
+  EXPECT_EQ(h.graph.num_edges(), 5u);
+}
+
+TEST(Hhn, HypercubeNucleus) {
+  topo::Hsn h = topo::make_hhn(2, 3);  // 8-node hypercube nucleus, 2 levels
+  EXPECT_EQ(h.graph.num_nodes(), 64u);
+  EXPECT_EQ(h.nucleus_edges, 8u * 12);
+  EXPECT_TRUE(h.graph.is_connected());
+}
+
+TEST(Isn, QuotientHasDoubleLinks) {
+  topo::Isn isn = topo::make_isn(3, 3);  // 9 clusters of 2 stages x 3
+  const std::uint32_t cluster_size = isn.stages() * isn.r;
+  std::map<std::pair<NodeId, NodeId>, std::uint32_t> quotient;
+  for (const Edge& ed : isn.graph.edges()) {
+    const NodeId cu = ed.u / cluster_size, cv = ed.v / cluster_size;
+    if (cu == cv) continue;
+    auto key = std::minmax(cu, cv);
+    ++quotient[{key.first, key.second}];
+  }
+  // Quotient 2-D radix-3 GHC: 9 * 2*(3-1)/2 = 18 pairs, 2 links each.
+  EXPECT_EQ(quotient.size(), 18u);
+  for (const auto& [pair, count] : quotient) EXPECT_EQ(count, 2u);
+  EXPECT_TRUE(isn.graph.is_connected());
+}
+
+TEST(KaryCluster, HypercubeClusters) {
+  topo::KaryCluster kc =
+      topo::make_kary_cluster(3, 2, 4, topo::ClusterKind::kHypercube);
+  EXPECT_EQ(kc.graph.num_nodes(), 9u * 4);
+  // Edges: 9 clusters * 4 (2-cube) + quotient torus edges 9*2.
+  EXPECT_EQ(kc.graph.num_edges(), 9u * 4 + 18u);
+  EXPECT_TRUE(kc.graph.is_connected());
+}
+
+TEST(KaryCluster, CompleteClusters) {
+  topo::KaryCluster kc =
+      topo::make_kary_cluster(3, 2, 5, topo::ClusterKind::kComplete);
+  EXPECT_EQ(kc.graph.num_edges(), 9u * 10 + 18u);
+  EXPECT_TRUE(kc.graph.is_connected());
+}
+
+TEST(KaryCluster, RejectsBadClusterSize) {
+  EXPECT_THROW(topo::make_kary_cluster(3, 2, 6, topo::ClusterKind::kHypercube),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlvl
