@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_butterfly.dir/bench_butterfly.cpp.o"
+  "CMakeFiles/bench_butterfly.dir/bench_butterfly.cpp.o.d"
+  "bench_butterfly"
+  "bench_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

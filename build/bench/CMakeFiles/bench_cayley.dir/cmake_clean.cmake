@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cayley.dir/bench_cayley.cpp.o"
+  "CMakeFiles/bench_cayley.dir/bench_cayley.cpp.o.d"
+  "bench_cayley"
+  "bench_cayley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cayley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ccc.dir/bench_ccc.cpp.o"
+  "CMakeFiles/bench_ccc.dir/bench_ccc.cpp.o.d"
+  "bench_ccc"
+  "bench_ccc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ccc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

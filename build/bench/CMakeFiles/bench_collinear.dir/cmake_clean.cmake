@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collinear.dir/bench_collinear.cpp.o"
+  "CMakeFiles/bench_collinear.dir/bench_collinear.cpp.o.d"
+  "bench_collinear"
+  "bench_collinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_folded.dir/bench_folded.cpp.o"
+  "CMakeFiles/bench_folded.dir/bench_folded.cpp.o.d"
+  "bench_folded"
+  "bench_folded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_folded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ghc.dir/bench_ghc.cpp.o"
+  "CMakeFiles/bench_ghc.dir/bench_ghc.cpp.o.d"
+  "bench_ghc"
+  "bench_ghc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ghc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

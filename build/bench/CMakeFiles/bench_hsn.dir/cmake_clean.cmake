@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hsn.dir/bench_hsn.cpp.o"
+  "CMakeFiles/bench_hsn.dir/bench_hsn.cpp.o.d"
+  "bench_hsn"
+  "bench_hsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

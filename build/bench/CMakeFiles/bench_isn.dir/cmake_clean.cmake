@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isn.dir/bench_isn.cpp.o"
+  "CMakeFiles/bench_isn.dir/bench_isn.cpp.o.d"
+  "bench_isn"
+  "bench_isn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

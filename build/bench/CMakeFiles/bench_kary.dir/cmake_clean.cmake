@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kary.dir/bench_kary.cpp.o"
+  "CMakeFiles/bench_kary.dir/bench_kary.cpp.o.d"
+  "bench_kary"
+  "bench_kary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

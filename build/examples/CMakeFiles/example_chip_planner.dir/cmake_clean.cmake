@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_chip_planner.dir/chip_planner.cpp.o"
+  "CMakeFiles/example_chip_planner.dir/chip_planner.cpp.o.d"
+  "example_chip_planner"
+  "example_chip_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_chip_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_figure_gallery.dir/figure_gallery.cpp.o"
+  "CMakeFiles/example_figure_gallery.dir/figure_gallery.cpp.o.d"
+  "example_figure_gallery"
+  "example_figure_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_figure_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

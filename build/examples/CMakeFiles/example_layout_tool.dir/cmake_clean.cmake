@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_layout_tool.dir/layout_tool.cpp.o"
+  "CMakeFiles/example_layout_tool.dir/layout_tool.cpp.o.d"
+  "example_layout_tool"
+  "example_layout_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_layout_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cpp" "src/CMakeFiles/mlvl_analysis.dir/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/mlvl_analysis.dir/analysis/bounds.cpp.o.d"
+  "/root/repo/src/analysis/congestion.cpp" "src/CMakeFiles/mlvl_analysis.dir/analysis/congestion.cpp.o" "gcc" "src/CMakeFiles/mlvl_analysis.dir/analysis/congestion.cpp.o.d"
+  "/root/repo/src/analysis/formulas.cpp" "src/CMakeFiles/mlvl_analysis.dir/analysis/formulas.cpp.o" "gcc" "src/CMakeFiles/mlvl_analysis.dir/analysis/formulas.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/mlvl_analysis.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/mlvl_analysis.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/routing.cpp" "src/CMakeFiles/mlvl_analysis.dir/analysis/routing.cpp.o" "gcc" "src/CMakeFiles/mlvl_analysis.dir/analysis/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlvl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlvl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlvl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

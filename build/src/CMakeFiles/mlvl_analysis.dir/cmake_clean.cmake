@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvl_analysis.dir/analysis/bounds.cpp.o"
+  "CMakeFiles/mlvl_analysis.dir/analysis/bounds.cpp.o.d"
+  "CMakeFiles/mlvl_analysis.dir/analysis/congestion.cpp.o"
+  "CMakeFiles/mlvl_analysis.dir/analysis/congestion.cpp.o.d"
+  "CMakeFiles/mlvl_analysis.dir/analysis/formulas.cpp.o"
+  "CMakeFiles/mlvl_analysis.dir/analysis/formulas.cpp.o.d"
+  "CMakeFiles/mlvl_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/mlvl_analysis.dir/analysis/report.cpp.o.d"
+  "CMakeFiles/mlvl_analysis.dir/analysis/routing.cpp.o"
+  "CMakeFiles/mlvl_analysis.dir/analysis/routing.cpp.o.d"
+  "libmlvl_analysis.a"
+  "libmlvl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

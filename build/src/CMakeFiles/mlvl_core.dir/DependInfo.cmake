@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ascii.cpp" "src/CMakeFiles/mlvl_core.dir/core/ascii.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/ascii.cpp.o.d"
+  "/root/repo/src/core/checker.cpp" "src/CMakeFiles/mlvl_core.dir/core/checker.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/checker.cpp.o.d"
+  "/root/repo/src/core/collinear.cpp" "src/CMakeFiles/mlvl_core.dir/core/collinear.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/collinear.cpp.o.d"
+  "/root/repo/src/core/fold.cpp" "src/CMakeFiles/mlvl_core.dir/core/fold.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/fold.cpp.o.d"
+  "/root/repo/src/core/fold3d.cpp" "src/CMakeFiles/mlvl_core.dir/core/fold3d.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/fold3d.cpp.o.d"
+  "/root/repo/src/core/geometry.cpp" "src/CMakeFiles/mlvl_core.dir/core/geometry.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/geometry.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/CMakeFiles/mlvl_core.dir/core/graph.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/graph.cpp.o.d"
+  "/root/repo/src/core/interval.cpp" "src/CMakeFiles/mlvl_core.dir/core/interval.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/interval.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/CMakeFiles/mlvl_core.dir/core/io.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/io.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/mlvl_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/multilayer.cpp" "src/CMakeFiles/mlvl_core.dir/core/multilayer.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/multilayer.cpp.o.d"
+  "/root/repo/src/core/orthogonal.cpp" "src/CMakeFiles/mlvl_core.dir/core/orthogonal.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/orthogonal.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/CMakeFiles/mlvl_core.dir/core/placement.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/placement.cpp.o.d"
+  "/root/repo/src/core/svg.cpp" "src/CMakeFiles/mlvl_core.dir/core/svg.cpp.o" "gcc" "src/CMakeFiles/mlvl_core.dir/core/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

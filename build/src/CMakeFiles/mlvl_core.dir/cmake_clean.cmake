@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvl_core.dir/core/ascii.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/ascii.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/checker.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/checker.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/collinear.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/collinear.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/fold.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/fold.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/fold3d.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/fold3d.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/geometry.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/geometry.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/graph.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/graph.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/interval.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/interval.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/io.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/io.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/multilayer.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/multilayer.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/orthogonal.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/orthogonal.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/placement.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/placement.cpp.o.d"
+  "CMakeFiles/mlvl_core.dir/core/svg.cpp.o"
+  "CMakeFiles/mlvl_core.dir/core/svg.cpp.o.d"
+  "libmlvl_core.a"
+  "libmlvl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/butterfly_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/butterfly_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/butterfly_layout.cpp.o.d"
+  "/root/repo/src/layout/cayley_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/cayley_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/cayley_layout.cpp.o.d"
+  "/root/repo/src/layout/ccc_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/ccc_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/ccc_layout.cpp.o.d"
+  "/root/repo/src/layout/cluster_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/cluster_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/cluster_layout.cpp.o.d"
+  "/root/repo/src/layout/folded_hc_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/folded_hc_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/folded_hc_layout.cpp.o.d"
+  "/root/repo/src/layout/generic_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/generic_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/generic_layout.cpp.o.d"
+  "/root/repo/src/layout/ghc_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/ghc_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/ghc_layout.cpp.o.d"
+  "/root/repo/src/layout/hsn_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/hsn_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/hsn_layout.cpp.o.d"
+  "/root/repo/src/layout/hypercube_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/hypercube_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/hypercube_layout.cpp.o.d"
+  "/root/repo/src/layout/isn_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/isn_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/isn_layout.cpp.o.d"
+  "/root/repo/src/layout/kary_layout.cpp" "src/CMakeFiles/mlvl_layout.dir/layout/kary_layout.cpp.o" "gcc" "src/CMakeFiles/mlvl_layout.dir/layout/kary_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlvl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlvl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvl_layout.dir/layout/butterfly_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/butterfly_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/cayley_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/cayley_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/ccc_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/ccc_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/cluster_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/cluster_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/folded_hc_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/folded_hc_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/generic_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/generic_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/ghc_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/ghc_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/hsn_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/hsn_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/hypercube_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/hypercube_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/isn_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/isn_layout.cpp.o.d"
+  "CMakeFiles/mlvl_layout.dir/layout/kary_layout.cpp.o"
+  "CMakeFiles/mlvl_layout.dir/layout/kary_layout.cpp.o.d"
+  "libmlvl_layout.a"
+  "libmlvl_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvl_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

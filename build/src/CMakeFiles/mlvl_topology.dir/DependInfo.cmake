@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/butterfly.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/butterfly.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/butterfly.cpp.o.d"
+  "/root/repo/src/topology/cayley.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/cayley.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/cayley.cpp.o.d"
+  "/root/repo/src/topology/ccc.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/ccc.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/ccc.cpp.o.d"
+  "/root/repo/src/topology/complete.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/complete.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/complete.cpp.o.d"
+  "/root/repo/src/topology/folded_hypercube.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/folded_hypercube.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/folded_hypercube.cpp.o.d"
+  "/root/repo/src/topology/generalized_hypercube.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/generalized_hypercube.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/generalized_hypercube.cpp.o.d"
+  "/root/repo/src/topology/hsn.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/hsn.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/hsn.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/hypercube.cpp.o.d"
+  "/root/repo/src/topology/isn.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/isn.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/isn.cpp.o.d"
+  "/root/repo/src/topology/kary_cluster.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/kary_cluster.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/kary_cluster.cpp.o.d"
+  "/root/repo/src/topology/kary_ncube.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/kary_ncube.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/kary_ncube.cpp.o.d"
+  "/root/repo/src/topology/product.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/product.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/product.cpp.o.d"
+  "/root/repo/src/topology/reduced_hypercube.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/reduced_hypercube.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/reduced_hypercube.cpp.o.d"
+  "/root/repo/src/topology/ring.cpp" "src/CMakeFiles/mlvl_topology.dir/topology/ring.cpp.o" "gcc" "src/CMakeFiles/mlvl_topology.dir/topology/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlvl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

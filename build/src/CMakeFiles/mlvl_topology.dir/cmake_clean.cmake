@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvl_topology.dir/topology/butterfly.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/butterfly.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/cayley.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/cayley.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/ccc.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/ccc.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/complete.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/complete.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/folded_hypercube.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/folded_hypercube.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/generalized_hypercube.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/generalized_hypercube.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/hsn.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/hsn.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/hypercube.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/hypercube.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/isn.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/isn.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/kary_cluster.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/kary_cluster.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/kary_ncube.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/kary_ncube.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/product.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/product.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/reduced_hypercube.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/reduced_hypercube.cpp.o.d"
+  "CMakeFiles/mlvl_topology.dir/topology/ring.cpp.o"
+  "CMakeFiles/mlvl_topology.dir/topology/ring.cpp.o.d"
+  "libmlvl_topology.a"
+  "libmlvl_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvl_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlvl_topology.a"
+)

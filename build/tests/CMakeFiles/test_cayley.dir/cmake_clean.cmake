@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cayley.dir/test_cayley.cpp.o"
+  "CMakeFiles/test_cayley.dir/test_cayley.cpp.o.d"
+  "test_cayley"
+  "test_cayley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cayley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collinear.dir/test_collinear.cpp.o"
+  "CMakeFiles/test_collinear.dir/test_collinear.cpp.o.d"
+  "test_collinear"
+  "test_collinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fold.dir/test_fold.cpp.o"
+  "CMakeFiles/test_fold.dir/test_fold.cpp.o.d"
+  "test_fold"
+  "test_fold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

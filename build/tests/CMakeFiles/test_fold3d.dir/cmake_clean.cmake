@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fold3d.dir/test_fold3d.cpp.o"
+  "CMakeFiles/test_fold3d.dir/test_fold3d.cpp.o.d"
+  "test_fold3d"
+  "test_fold3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fold3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

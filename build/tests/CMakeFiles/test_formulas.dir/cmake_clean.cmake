@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formulas.dir/test_formulas.cpp.o"
+  "CMakeFiles/test_formulas.dir/test_formulas.cpp.o.d"
+  "test_formulas"
+  "test_formulas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_metrics.dir/test_geometry_metrics.cpp.o"
+  "CMakeFiles/test_geometry_metrics.dir/test_geometry_metrics.cpp.o.d"
+  "test_geometry_metrics"
+  "test_geometry_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

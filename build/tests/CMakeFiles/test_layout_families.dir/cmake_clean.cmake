@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_families.dir/test_layout_families.cpp.o"
+  "CMakeFiles/test_layout_families.dir/test_layout_families.cpp.o.d"
+  "test_layout_families"
+  "test_layout_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilayer.dir/test_multilayer.cpp.o"
+  "CMakeFiles/test_multilayer.dir/test_multilayer.cpp.o.d"
+  "test_multilayer"
+  "test_multilayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

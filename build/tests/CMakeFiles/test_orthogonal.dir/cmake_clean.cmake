@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orthogonal.dir/test_orthogonal.cpp.o"
+  "CMakeFiles/test_orthogonal.dir/test_orthogonal.cpp.o.d"
+  "test_orthogonal"
+  "test_orthogonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orthogonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_constants.dir/test_paper_constants.cpp.o"
+  "CMakeFiles/test_paper_constants.dir/test_paper_constants.cpp.o.d"
+  "test_paper_constants"
+  "test_paper_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

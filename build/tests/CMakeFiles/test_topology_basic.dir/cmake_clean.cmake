@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_basic.dir/test_topology_basic.cpp.o"
+  "CMakeFiles/test_topology_basic.dir/test_topology_basic.cpp.o.d"
+  "test_topology_basic"
+  "test_topology_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

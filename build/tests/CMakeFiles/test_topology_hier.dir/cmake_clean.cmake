@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_hier.dir/test_topology_hier.cpp.o"
+  "CMakeFiles/test_topology_hier.dir/test_topology_hier.cpp.o.d"
+  "test_topology_hier"
+  "test_topology_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
