@@ -4,8 +4,13 @@
 // node boxes can grow to o(Area/N) without moving the wiring-dominated cost.
 //
 //   $ example_chip_planner [k] [n] [L]
+//
+// exit codes: 0 all layouts valid, 1 checker failure or runtime error,
+// 3 bad arguments.
 #include <cstdlib>
 #include <iostream>
+#include <new>
+#include <stdexcept>
 
 #include "analysis/report.hpp"
 #include "core/checker.hpp"
@@ -13,7 +18,9 @@
 #include "layout/cluster_layout.hpp"
 #include "layout/kary_layout.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mlvl;
   // Defaults sit inside the paper's "clusters are free" regime: the Sec. 3.2
   // threshold is c = o(k^{n/2-1}), so n must be large enough for the
@@ -62,4 +69,21 @@ int main(int argc, char** argv) {
   std::cout << "\nwiring_area never moves: processor area is free until it "
                "rivals the wiring term (Sec. 3.2's optimal scalability).\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& ex) {
+    std::cerr << "error: invalid argument: " << ex.what() << "\n";
+    return 3;
+  } catch (const std::bad_alloc&) {
+    std::cerr << "error: out of memory\n";
+    return 1;
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
 }

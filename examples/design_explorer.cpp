@@ -4,8 +4,13 @@
 // this library.
 //
 //   $ example_design_explorer [L]
+//
+// exit codes: 0 all layouts valid, 1 checker failure or runtime error,
+// 3 bad arguments.
 #include <cstdlib>
 #include <iostream>
+#include <new>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,7 +26,9 @@
 #include "layout/kary_layout.hpp"
 #include "topology/ring.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace mlvl;
   const std::uint32_t L = argc > 1 ? std::atoi(argv[1]) : 8;
 
@@ -66,4 +73,21 @@ int main(int argc, char** argv) {
                "denser. Low-degree networks (CCC) trade diameter for area "
                "exactly as the paper's Sec. 5.2 predicts.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& ex) {
+    std::cerr << "error: invalid argument: " << ex.what() << "\n";
+    return 3;
+  } catch (const std::bad_alloc&) {
+    std::cerr << "error: out of memory\n";
+    return 1;
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
 }

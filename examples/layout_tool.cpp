@@ -1,7 +1,10 @@
 // layout_tool — command-line front end for the whole pipeline: build a
-// network, lay it out for L layers, verify, and report/export.
+// network, lay it out for L layers, verify, and report/export. Also the
+// doctor: load a saved layout, collect every violation with exact
+// coordinates, and optionally rip-up/re-route the implicated edges.
 //
 //   example_layout_tool <network> [options]
+//   example_layout_tool --doctor <file> [-repair] [-save file] [-transparent]
 //
 // networks:
 //   hypercube <n> | kary <k> <n> | mesh <k> <n> | ghc <r> <n>
@@ -14,9 +17,18 @@
 //   -save <file>     export graph+geometry in the mlvl text format
 //   -congestion      print the per-layer utilization report
 //   -nocheck         skip geometric verification (for very large instances)
+// doctor options:
+//   -repair          rip up implicated edges and re-route through free cells
+//   -save <file>     write the (repaired) layout back out
+//   -transparent     verify under the stacked-via rule instead of blocking
+//
+// exit codes: 0 layout valid (or repaired clean), 1 layout invalid or
+// runtime failure, 2 input file missing/unparseable, 3 usage error.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <new>
+#include <stdexcept>
 #include <string>
 
 #include "analysis/congestion.hpp"
@@ -36,27 +48,117 @@
 #include "layout/hypercube_layout.hpp"
 #include "layout/isn_layout.hpp"
 #include "layout/kary_layout.hpp"
+#include "robustness/repair.hpp"
 #include "topology/ring.hpp"
 
 namespace {
 
 using namespace mlvl;
 
+constexpr int kExitValid = 0;
+constexpr int kExitInvalid = 1;
+constexpr int kExitParseError = 2;
+constexpr int kExitUsage = 3;
+
 int usage() {
   std::cerr << "usage: example_layout_tool <network> [args...] [-L layers] "
                "[-svg file] [-save file] [-congestion] [-nocheck]\n"
+               "       example_layout_tool --doctor <file> [-repair] "
+               "[-save file] [-transparent]\n"
                "networks: hypercube n | kary k n | mesh k n | ghc r n |\n"
                "          folded n | enhanced n seed | ccc n | rh n |\n"
                "          hsn levels r | hhn levels m | isn levels r |\n"
-               "          butterfly k | star n | cluster k n c\n";
-  return 2;
+               "          butterfly k | star n | cluster k n c\n"
+               "exit codes: 0 valid, 1 invalid, 2 parse error, 3 usage\n";
+  return kExitUsage;
 }
 
-}  // namespace
+void print_diagnostics(const DiagnosticSink& sink) {
+  analysis::Table t({"code", "where", "message"});
+  for (const Diagnostic& d : sink.diagnostics()) {
+    std::string where;
+    if (d.line != 0)
+      where = "line " + std::to_string(d.line);
+    else if (d.has_point)
+      where = "(" + std::to_string(d.x) + "," + std::to_string(d.y) + "," +
+              std::to_string(d.layer) + ")";
+    t.begin_row().cell(code_name(d.code)).cell(where).cell(d.to_string());
+  }
+  t.print(std::cout);
+  std::cout << "summary: " << sink.summary() << "\n";
+}
 
-int main(int argc, char** argv) {
+int run_doctor(const std::vector<std::string>& args) {
+  std::string file, save_path;
+  bool do_repair = false;
+  ViaRule rule = ViaRule::kBlocking;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-repair") {
+      do_repair = true;
+    } else if (args[i] == "-transparent") {
+      rule = ViaRule::kTransparent;
+    } else if (args[i] == "-save" && i + 1 < args.size()) {
+      save_path = args[++i];
+    } else if (file.empty() && !args[i].empty() && args[i][0] != '-') {
+      file = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) return usage();
+
+  DiagnosticSink load_sink(64);
+  auto loaded = io::load_layout(file, &load_sink);
+  if (!loaded) {
+    std::cout << "doctor: cannot load " << file << "\n";
+    print_diagnostics(load_sink);
+    return kExitParseError;
+  }
+
+  DiagnosticSink sink(256);
+  const std::uint64_t points =
+      check_layout_all(loaded->graph, loaded->geom, rule, sink);
+  if (sink.empty()) {
+    std::cout << "doctor: layout valid (" << points
+              << " occupied grid points)\n";
+    return kExitValid;
+  }
+  std::cout << "doctor: layout INVALID, " << sink.size() << " violation(s)";
+  if (sink.dropped() != 0) std::cout << " (+" << sink.dropped() << " dropped)";
+  std::cout << ":\n";
+  print_diagnostics(sink);
+  if (!do_repair) return kExitInvalid;
+
+  robustness::RepairReport rep =
+      robustness::repair_layout(loaded->graph, loaded->geom, {.rule = rule});
+  std::cout << "\nrepair: " << rep.ripped.size() << " edge(s) ripped, "
+            << rep.rerouted.size() << " re-routed, " << rep.failed.size()
+            << " unroutable, " << rep.unrepairable.size()
+            << " frame violation(s) unrepairable (" << rep.passes
+            << " pass(es))\n";
+  if (rep.ok) {
+    std::cout << "repair: layout now checker-clean\n";
+    if (!save_path.empty()) {
+      if (!io::save_layout(save_path, loaded->graph, loaded->geom)) {
+        std::cerr << "failed to write " << save_path << "\n";
+        return kExitInvalid;
+      }
+      std::cout << "wrote " << save_path << "\n";
+    }
+    return kExitValid;
+  }
+  std::cout << "repair: layout still invalid:\n";
+  DiagnosticSink after(256);
+  for (const Diagnostic& d : rep.remaining) after.report(d);
+  print_diagnostics(after);
+  return kExitInvalid;
+}
+
+int run(int argc, char** argv) {
   if (argc < 2) return usage();
   std::vector<std::string> args(argv + 1, argv + argc);
+  if (args[0] == "--doctor")
+    return run_doctor({args.begin() + 1, args.end()});
 
   std::uint32_t L = 4;
   std::string svg_path, save_path;
@@ -84,38 +186,33 @@ int main(int argc, char** argv) {
   };
 
   Orthogonal2Layer ortho;
-  try {
-    const std::string& net = pos[0];
-    if (net == "hypercube") ortho = layout::layout_hypercube(arg_at(1));
-    else if (net == "kary") ortho = layout::layout_kary(arg_at(1), arg_at(2));
-    else if (net == "mesh") ortho = layout::layout_kary_mesh(arg_at(1), arg_at(2));
-    else if (net == "ghc") ortho = layout::layout_ghc(arg_at(1), arg_at(2));
-    else if (net == "folded") ortho = layout::layout_folded_hypercube(arg_at(1));
-    else if (net == "enhanced")
-      ortho = layout::layout_enhanced_cube(arg_at(1), arg_at(2));
-    else if (net == "ccc") ortho = layout::layout_ccc(arg_at(1));
-    else if (net == "rh") ortho = layout::layout_reduced_hypercube(arg_at(1));
-    else if (net == "hsn")
-      ortho = layout::layout_hsn(arg_at(1), topo::make_ring(arg_at(2)));
-    else if (net == "hhn") ortho = layout::layout_hhn(arg_at(1), arg_at(2));
-    else if (net == "isn") ortho = layout::layout_isn(arg_at(1), arg_at(2));
-    else if (net == "butterfly") ortho = layout::layout_butterfly(arg_at(1));
-    else if (net == "star") ortho = layout::layout_star_structured(arg_at(1));
-    else if (net == "cluster")
-      ortho = layout::layout_kary_cluster(arg_at(1), arg_at(2), arg_at(3),
-                                          topo::ClusterKind::kHypercube);
-    else return usage();
-  } catch (const std::exception& ex) {
-    std::cerr << "error: " << ex.what() << "\n";
-    return 1;
-  }
+  const std::string& net = pos[0];
+  if (net == "hypercube") ortho = layout::layout_hypercube(arg_at(1));
+  else if (net == "kary") ortho = layout::layout_kary(arg_at(1), arg_at(2));
+  else if (net == "mesh") ortho = layout::layout_kary_mesh(arg_at(1), arg_at(2));
+  else if (net == "ghc") ortho = layout::layout_ghc(arg_at(1), arg_at(2));
+  else if (net == "folded") ortho = layout::layout_folded_hypercube(arg_at(1));
+  else if (net == "enhanced")
+    ortho = layout::layout_enhanced_cube(arg_at(1), arg_at(2));
+  else if (net == "ccc") ortho = layout::layout_ccc(arg_at(1));
+  else if (net == "rh") ortho = layout::layout_reduced_hypercube(arg_at(1));
+  else if (net == "hsn")
+    ortho = layout::layout_hsn(arg_at(1), topo::make_ring(arg_at(2)));
+  else if (net == "hhn") ortho = layout::layout_hhn(arg_at(1), arg_at(2));
+  else if (net == "isn") ortho = layout::layout_isn(arg_at(1), arg_at(2));
+  else if (net == "butterfly") ortho = layout::layout_butterfly(arg_at(1));
+  else if (net == "star") ortho = layout::layout_star_structured(arg_at(1));
+  else if (net == "cluster")
+    ortho = layout::layout_kary_cluster(arg_at(1), arg_at(2), arg_at(3),
+                                        topo::ClusterKind::kHypercube);
+  else return usage();
 
   MultilayerLayout ml = realize(ortho, {.L = L});
   if (check) {
     CheckResult res = check_layout(ortho.graph, ml);
     if (!res.ok) {
       std::cerr << "checker FAILED: " << res.error << "\n";
-      return 1;
+      return kExitInvalid;
     }
     std::cout << "checker ok (" << res.points << " occupied grid points, "
               << (ml.required_rule == ViaRule::kBlocking ? "strict grid model"
@@ -156,16 +253,33 @@ int main(int argc, char** argv) {
   if (!svg_path.empty()) {
     if (!write_svg(ml.geom, svg_path)) {
       std::cerr << "failed to write " << svg_path << "\n";
-      return 1;
+      return kExitInvalid;
     }
     std::cout << "wrote " << svg_path << "\n";
   }
   if (!save_path.empty()) {
     if (!io::save_layout(save_path, ortho.graph, ml.geom)) {
       std::cerr << "failed to write " << save_path << "\n";
-      return 1;
+      return kExitInvalid;
     }
     std::cout << "wrote " << save_path << "\n";
   }
-  return 0;
+  return kExitValid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& ex) {
+    std::cerr << "error: invalid argument: " << ex.what() << "\n";
+    return kExitUsage;
+  } catch (const std::bad_alloc&) {
+    std::cerr << "error: out of memory\n";
+    return kExitInvalid;
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return kExitInvalid;
+  }
 }

@@ -4,86 +4,187 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/gridkey.hpp"
+
 namespace mlvl {
-namespace {
 
-constexpr std::uint32_t kCoordBits = 20;
-constexpr std::uint32_t kCoordMax = (1u << kCoordBits) - 1;
+using grid::key3;
+using grid::key_x;
+using grid::key_y;
+using grid::key_z;
+using grid::kCoordMax;
 
-constexpr std::uint64_t key3(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
-  return (static_cast<std::uint64_t>(z) << (2 * kCoordBits)) |
-         (static_cast<std::uint64_t>(y) << kCoordBits) | x;
-}
-
-std::string at(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
-  return " at (" + std::to_string(x) + "," + std::to_string(y) + "," +
-         std::to_string(z) + ")";
-}
-
-}  // namespace
-
-CheckResult check_layout(const Graph& g, const LayoutGeometry& geom,
-                         ViaRule rule) {
-  CheckResult res;
-  auto fail = [&](std::string msg) {
-    res.ok = false;
-    res.error = std::move(msg);
-    return res;
+std::uint64_t check_layout_all(const Graph& g, const LayoutGeometry& geom,
+                               ViaRule rule, DiagnosticSink& sink) {
+  auto report = [&](Diagnostic d) { sink.report(std::move(d)); };
+  auto at = [](std::uint64_t k, Diagnostic d) {
+    d.has_point = true;
+    d.x = key_x(k);
+    d.y = key_y(k);
+    d.layer = static_cast<std::uint16_t>(key_z(k));
+    return d;
   };
-  if (geom.width > kCoordMax || geom.height > kCoordMax)
-    return fail("layout exceeds checker coordinate range");
+
+  if (geom.width > kCoordMax || geom.height > kCoordMax ||
+      geom.num_layers > kCoordMax) {
+    report({.code = Code::kCoordRange});
+    return 0;
+  }
 
   // ---- Node boxes: bounds, per-layer disjointness, per-node presence. -----
   if (geom.boxes.size() != g.num_nodes())
-    return fail("box count != node count");
+    report({.code = Code::kBoxCountMismatch,
+            .detail = std::to_string(geom.boxes.size()) + " boxes for " +
+                      std::to_string(g.num_nodes()) + " nodes"});
   std::unordered_map<std::uint64_t, NodeId> box_at;  // keyed (x, y, layer)
   std::vector<const NodeBox*> box_of(g.num_nodes(), nullptr);
   for (const NodeBox& b : geom.boxes) {
-    if (b.node >= g.num_nodes()) return fail("box for unknown node");
-    if (box_of[b.node]) return fail("duplicate box for node");
+    if (sink.full()) return 0;
+    if (b.node >= g.num_nodes()) {
+      report({.code = Code::kBoxUnknownNode,
+              .detail = "node id " + std::to_string(b.node)});
+      continue;
+    }
+    if (box_of[b.node]) {
+      report({.code = Code::kBoxDuplicate, .node = b.node});
+      continue;
+    }
     box_of[b.node] = &b;
-    if (b.w == 0 || b.h == 0 || b.x + b.w > geom.width || b.y + b.h > geom.height)
-      return fail("box out of bounds");
-    if (b.layer < 1 || b.layer > geom.num_layers)
-      return fail("box layer out of range");
-    for (std::uint32_t yy = b.y; yy < b.y + b.h; ++yy)
+    bool frame_ok = true;
+    if (b.w == 0 || b.h == 0 ||
+        static_cast<std::uint64_t>(b.x) + b.w > geom.width ||
+        static_cast<std::uint64_t>(b.y) + b.h > geom.height) {
+      report({.code = Code::kBoxOutOfBounds,
+              .has_point = true,
+              .x = b.x,
+              .y = b.y,
+              .layer = b.layer,
+              .node = b.node});
+      frame_ok = false;
+    }
+    if (b.layer < 1 || b.layer > geom.num_layers) {
+      report({.code = Code::kBoxLayerRange,
+              .has_point = true,
+              .x = b.x,
+              .y = b.y,
+              .layer = b.layer,
+              .node = b.node});
+      frame_ok = false;
+    }
+    if (!frame_ok) continue;  // cells unbounded/invalid: do not register
+    bool overlapped = false;
+    for (std::uint32_t yy = b.y; yy < b.y + b.h && !overlapped; ++yy)
       for (std::uint32_t xx = b.x; xx < b.x + b.w; ++xx)
-        if (!box_at.emplace(key3(xx, yy, b.layer), b.node).second)
-          return fail("overlapping node boxes" + at(xx, yy, b.layer));
+        if (!box_at.emplace(key3(xx, yy, b.layer), b.node).second) {
+          report(at(key3(xx, yy, b.layer),
+                    {.code = Code::kBoxOverlap, .node = b.node}));
+          overlapped = true;  // one report per box pair, not per point
+          break;
+        }
   }
 
   // ---- Wire occupancy ------------------------------------------------------
   // Sort-based detection: one (point, edge) record per occupied grid point,
   // sorted; a point shared by two different edges is a collision. This is
   // both faster and leaner than hashing for the multi-million-point layouts
-  // the benches verify.
+  // the benches verify. Records with a broken frame (unknown edge, malformed
+  // or out-of-bounds extent) are diagnosed and skipped: expanding them could
+  // blow up the point loops, and their owning edge is excluded from the
+  // connectivity phase to avoid cascading noise.
+  std::vector<char> edge_frame_ok(g.num_edges(), 1);
   std::vector<std::pair<std::uint64_t, EdgeId>> occ;
   {
     std::size_t estimate = geom.vias.size() * 2;
     for (const WireSeg& s : geom.segs)
-      estimate += static_cast<std::size_t>(s.length()) + 1;
+      if (s.x2 < geom.width && s.y2 < geom.height && s.x1 <= s.x2 &&
+          s.y1 <= s.y2)
+        estimate += static_cast<std::size_t>(s.length()) + 1;
     occ.reserve(estimate);
   }
   auto claim = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z,
                    EdgeId e) { occ.emplace_back(key3(x, y, z), e); };
 
   for (const WireSeg& s : geom.segs) {
-    if (s.edge >= g.num_edges()) return fail("segment for unknown edge");
-    if (s.x1 > s.x2 || s.y1 > s.y2 || (s.x1 != s.x2 && s.y1 != s.y2))
-      return fail("segment not axis-aligned/normalized");
-    if (s.x2 >= geom.width || s.y2 >= geom.height)
-      return fail("segment out of bounds");
-    if (s.layer < 1 || s.layer > geom.num_layers)
-      return fail("segment layer out of range");
+    if (sink.full()) return 0;
+    if (s.edge >= g.num_edges()) {
+      report({.code = Code::kSegUnknownEdge,
+              .has_point = true,
+              .x = s.x1,
+              .y = s.y1,
+              .layer = s.layer,
+              .detail = "edge id " + std::to_string(s.edge)});
+      continue;
+    }
+    bool ok = true;
+    if (s.x1 > s.x2 || s.y1 > s.y2 || (s.x1 != s.x2 && s.y1 != s.y2)) {
+      report({.code = Code::kSegMalformed,
+              .has_point = true,
+              .x = s.x1,
+              .y = s.y1,
+              .layer = s.layer,
+              .edge = s.edge});
+      ok = false;
+    }
+    if (ok && (s.x2 >= geom.width || s.y2 >= geom.height)) {
+      report({.code = Code::kSegOutOfBounds,
+              .has_point = true,
+              .x = s.x2,
+              .y = s.y2,
+              .layer = s.layer,
+              .edge = s.edge});
+      ok = false;
+    }
+    if (s.layer < 1 || s.layer > geom.num_layers) {
+      report({.code = Code::kSegLayerRange,
+              .has_point = true,
+              .x = s.x1,
+              .y = s.y1,
+              .layer = s.layer,
+              .edge = s.edge});
+      ok = false;
+    }
+    if (!ok) {
+      edge_frame_ok[s.edge] = 0;
+      continue;
+    }
     for (std::uint32_t yy = s.y1; yy <= s.y2; ++yy)
       for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
         claim(xx, yy, s.layer, s.edge);
   }
   for (const Via& v : geom.vias) {
-    if (v.edge >= g.num_edges()) return fail("via for unknown edge");
-    if (v.z1 < 1 || v.z2 > geom.num_layers || v.z1 > v.z2)
-      return fail("via z-range invalid");
-    if (v.x >= geom.width || v.y >= geom.height) return fail("via out of bounds");
+    if (sink.full()) return 0;
+    if (v.edge >= g.num_edges()) {
+      report({.code = Code::kViaUnknownEdge,
+              .has_point = true,
+              .x = v.x,
+              .y = v.y,
+              .layer = v.z1,
+              .detail = "edge id " + std::to_string(v.edge)});
+      continue;
+    }
+    bool ok = true;
+    if (v.z1 < 1 || v.z2 > geom.num_layers || v.z1 > v.z2) {
+      report({.code = Code::kViaSpanInvalid,
+              .has_point = true,
+              .x = v.x,
+              .y = v.y,
+              .layer = v.z1,
+              .edge = v.edge});
+      ok = false;
+    }
+    if (v.x >= geom.width || v.y >= geom.height) {
+      report({.code = Code::kViaOutOfBounds,
+              .has_point = true,
+              .x = v.x,
+              .y = v.y,
+              .layer = v.z1,
+              .edge = v.edge});
+      ok = false;
+    }
+    if (!ok) {
+      edge_frame_ok[v.edge] = 0;
+      continue;
+    }
     if (rule == ViaRule::kBlocking) {
       for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz) claim(v.x, v.y, zz, v.edge);
     } else {
@@ -92,41 +193,49 @@ CheckResult check_layout(const Graph& g, const LayoutGeometry& geom,
     }
   }
   std::sort(occ.begin(), occ.end());
-  for (std::size_t i = 1; i < occ.size(); ++i) {
-    if (occ[i].first == occ[i - 1].first && occ[i].second != occ[i - 1].second) {
-      const std::uint64_t k = occ[i].first;
-      return fail("wire collision" +
-                  at(k & ((1u << kCoordBits) - 1),
-                     (k >> kCoordBits) & ((1u << kCoordBits) - 1),
-                     static_cast<std::uint32_t>(k >> (2 * kCoordBits))));
-    }
+  for (std::size_t i = 1; i < occ.size() && !sink.full(); ++i) {
+    if (occ[i].first == occ[i - 1].first && occ[i].second != occ[i - 1].second)
+      report(at(occ[i].first, {.code = Code::kPointCollision,
+                               .edge = occ[i - 1].second,
+                               .edge2 = occ[i].second}));
   }
   occ.erase(std::unique(occ.begin(), occ.end()), occ.end());
-  res.points = occ.size();
+  const std::uint64_t points = occ.size();
 
   // ---- Wires on an active layer may only touch their endpoints' boxes. ----
   for (const auto& [k, e] : occ) {
+    if (sink.full()) return points;
     auto it = box_at.find(k);
     if (it == box_at.end()) continue;
     const Edge& ed = g.edge(e);
     if (it->second != ed.u && it->second != ed.v)
-      return fail("wire of edge " + std::to_string(e) +
-                  " enters box of node " + std::to_string(it->second));
+      report(at(k, {.code = Code::kTerminalTheft, .edge = e,
+                    .node = it->second}));
   }
 
   // ---- Per-edge connectivity ----------------------------------------------
+  if (sink.full()) return points;
   std::vector<std::vector<std::uint64_t>> pts(g.num_edges());
-  for (const WireSeg& s : geom.segs)
+  for (const WireSeg& s : geom.segs) {
+    if (s.edge >= g.num_edges() || !edge_frame_ok[s.edge]) continue;
     for (std::uint32_t yy = s.y1; yy <= s.y2; ++yy)
       for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
         pts[s.edge].push_back(key3(xx, yy, s.layer));
-  for (const Via& v : geom.vias)  // full column: vias always connect
+  }
+  for (const Via& v : geom.vias) {  // full column: vias always connect
+    if (v.edge >= g.num_edges() || !edge_frame_ok[v.edge]) continue;
     for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz)
       pts[v.edge].push_back(key3(v.x, v.y, zz));
+  }
 
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (sink.full()) return points;
+    if (!edge_frame_ok[e]) continue;  // already diagnosed above
     auto& p = pts[e];
-    if (p.empty()) return fail("edge " + std::to_string(e) + " is unrouted");
+    if (p.empty()) {
+      report({.code = Code::kEdgeUnrouted, .edge = e});
+      continue;
+    }
     std::sort(p.begin(), p.end());
     p.erase(std::unique(p.begin(), p.end()), p.end());
     auto has = [&](std::uint64_t k) {
@@ -138,23 +247,23 @@ CheckResult check_layout(const Graph& g, const LayoutGeometry& geom,
     seen[0] = true;
     std::size_t reached = 1;
     const Edge& ed = g.edge(e);
+    const NodeBox* bu = box_of[ed.u];
+    const NodeBox* bv = box_of[ed.v];
     bool touch_u = false, touch_v = false;
     auto check_touch = [&](std::uint64_t k) {
-      const std::uint32_t xx = k & kCoordMax;
-      const std::uint32_t yy = (k >> kCoordBits) & kCoordMax;
-      const std::uint32_t zz = k >> (2 * kCoordBits);
-      if (zz == box_of[ed.u]->layer && box_of[ed.u]->contains(xx, yy))
-        touch_u = true;
-      if (zz == box_of[ed.v]->layer && box_of[ed.v]->contains(xx, yy))
-        touch_v = true;
+      const std::uint32_t xx = key_x(k);
+      const std::uint32_t yy = key_y(k);
+      const std::uint32_t zz = key_z(k);
+      if (bu && zz == bu->layer && bu->contains(xx, yy)) touch_u = true;
+      if (bv && zz == bv->layer && bv->contains(xx, yy)) touch_v = true;
     };
     check_touch(p[0]);
     while (!stack.empty()) {
       const std::uint64_t k = stack.back();
       stack.pop_back();
-      const std::uint32_t xx = k & kCoordMax;
-      const std::uint32_t yy = (k >> kCoordBits) & kCoordMax;
-      const std::uint32_t zz = k >> (2 * kCoordBits);
+      const std::uint32_t xx = key_x(k);
+      const std::uint32_t yy = key_y(k);
+      const std::uint32_t zz = key_z(k);
       const std::uint64_t nbr[6] = {
           xx > 0 ? key3(xx - 1, yy, zz) : k, key3(xx + 1, yy, zz),
           yy > 0 ? key3(xx, yy - 1, zz) : k, key3(xx, yy + 1, zz),
@@ -171,13 +280,39 @@ CheckResult check_layout(const Graph& g, const LayoutGeometry& geom,
         }
       }
     }
-    if (reached != p.size())
-      return fail("edge " + std::to_string(e) + " wire is disconnected");
-    if (!touch_u || !touch_v)
-      return fail("edge " + std::to_string(e) + " does not reach both terminals");
+    if (reached != p.size()) {
+      // Locate a stranded point so the diagnostic names real coordinates.
+      std::uint64_t stranded = p[0];
+      for (std::size_t i = 0; i < p.size(); ++i)
+        if (!seen[i]) {
+          stranded = p[i];
+          break;
+        }
+      report(at(stranded, {.code = Code::kEdgeDisconnected, .edge = e}));
+      continue;
+    }
+    if ((!touch_u && bu) || (!touch_v && bv)) {
+      const NodeBox* missing = (!touch_u && bu) ? bu : bv;
+      report({.code = Code::kEdgeMissesTerminal,
+              .has_point = true,
+              .x = missing->x,
+              .y = missing->y,
+              .layer = missing->layer,
+              .edge = e,
+              .node = missing->node});
+    }
   }
 
-  res.ok = true;
+  return points;
+}
+
+CheckResult check_layout(const Graph& g, const LayoutGeometry& geom,
+                         ViaRule rule) {
+  DiagnosticSink sink(1);
+  CheckResult res;
+  res.points = check_layout_all(g, geom, rule, sink);
+  res.ok = sink.empty();
+  if (!res.ok) res.error = sink.first()->to_string();
   return res;
 }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/diagnostics.hpp"
 #include "core/geometry.hpp"
 #include "core/graph.hpp"
 #include "core/multilayer.hpp"
@@ -36,7 +37,16 @@ struct CheckResult {
   explicit operator bool() const { return ok; }
 };
 
-/// Validate `geom` as a layout of `g` under the given via rule.
+/// Collect-all validation: appends every violation to `sink` (up to its
+/// capacity; producers stop early once the sink is full, so a capacity-1
+/// sink reproduces first-failure behaviour). Each diagnostic carries the
+/// exact grid coordinates and the implicated edge/node ids. Returns the
+/// number of distinct occupied grid points examined.
+std::uint64_t check_layout_all(const Graph& g, const LayoutGeometry& geom,
+                               ViaRule rule, DiagnosticSink& sink);
+
+/// Validate `geom` as a layout of `g` under the given via rule. Thin
+/// first-failure wrapper over check_layout_all.
 [[nodiscard]] CheckResult check_layout(const Graph& g, const LayoutGeometry& geom,
                                        ViaRule rule = ViaRule::kBlocking);
 

@@ -1,0 +1,180 @@
+#include "core/diagnostics.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace mlvl {
+namespace {
+
+std::string point_suffix(const Diagnostic& d) {
+  if (!d.has_point) return {};
+  return " at (" + std::to_string(d.x) + "," + std::to_string(d.y) + "," +
+         std::to_string(d.layer) + ")";
+}
+
+}  // namespace
+
+const char* code_name(Code c) {
+  switch (c) {
+    case Code::kNone: return "none";
+    case Code::kCoordRange: return "coord-range";
+    case Code::kBoxCountMismatch: return "box-count-mismatch";
+    case Code::kBoxUnknownNode: return "box-unknown-node";
+    case Code::kBoxDuplicate: return "box-duplicate";
+    case Code::kBoxOutOfBounds: return "box-out-of-bounds";
+    case Code::kBoxLayerRange: return "box-layer-range";
+    case Code::kBoxOverlap: return "box-overlap";
+    case Code::kSegUnknownEdge: return "seg-unknown-edge";
+    case Code::kSegMalformed: return "seg-malformed";
+    case Code::kSegOutOfBounds: return "seg-out-of-bounds";
+    case Code::kSegLayerRange: return "seg-layer-range";
+    case Code::kViaUnknownEdge: return "via-unknown-edge";
+    case Code::kViaSpanInvalid: return "via-span-invalid";
+    case Code::kViaOutOfBounds: return "via-out-of-bounds";
+    case Code::kPointCollision: return "point-collision";
+    case Code::kTerminalTheft: return "terminal-theft";
+    case Code::kEdgeUnrouted: return "edge-unrouted";
+    case Code::kEdgeDisconnected: return "edge-disconnected";
+    case Code::kEdgeMissesTerminal: return "edge-misses-terminal";
+    case Code::kParseBadHeader: return "parse-bad-header";
+    case Code::kParseBadRecord: return "parse-bad-record";
+    case Code::kParseBadValue: return "parse-bad-value";
+    case Code::kParseTrailingGarbage: return "parse-trailing-garbage";
+    case Code::kFileMissing: return "file-missing";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  // The fixed phrases below are load-bearing: callers of the historical
+  // first-failure API grep for substrings like "collision", "disconnected",
+  // "terminals" and "enters box".
+  std::string s;
+  switch (code) {
+    case Code::kNone:
+      s = "no violation";
+      break;
+    case Code::kCoordRange:
+      s = "layout exceeds checker coordinate range";
+      break;
+    case Code::kBoxCountMismatch:
+      s = "box count != node count";
+      break;
+    case Code::kBoxUnknownNode:
+      s = "box for unknown node";
+      break;
+    case Code::kBoxDuplicate:
+      s = "duplicate box for node " + std::to_string(node);
+      break;
+    case Code::kBoxOutOfBounds:
+      s = "box out of bounds";
+      if (node != kNoId) s += " (node " + std::to_string(node) + ")";
+      break;
+    case Code::kBoxLayerRange:
+      s = "box layer out of range";
+      if (node != kNoId) s += " (node " + std::to_string(node) + ")";
+      break;
+    case Code::kBoxOverlap:
+      s = "overlapping node boxes" + point_suffix(*this);
+      break;
+    case Code::kSegUnknownEdge:
+      s = "segment for unknown edge";
+      break;
+    case Code::kSegMalformed:
+      s = "segment not axis-aligned/normalized";
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kSegOutOfBounds:
+      s = "segment out of bounds";
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kSegLayerRange:
+      s = "segment layer out of range";
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kViaUnknownEdge:
+      s = "via for unknown edge";
+      break;
+    case Code::kViaSpanInvalid:
+      s = "via z-range invalid";
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kViaOutOfBounds:
+      s = "via out of bounds";
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kPointCollision:
+      s = "wire collision" + point_suffix(*this);
+      if (edge != kNoId && edge2 != kNoId)
+        s += " between edge " + std::to_string(edge) + " and edge " +
+             std::to_string(edge2);
+      break;
+    case Code::kTerminalTheft:
+      s = "wire of edge " + std::to_string(edge) + " enters box of node " +
+          std::to_string(node) + point_suffix(*this);
+      break;
+    case Code::kEdgeUnrouted:
+      s = "edge " + std::to_string(edge) + " is unrouted";
+      break;
+    case Code::kEdgeDisconnected:
+      s = "edge " + std::to_string(edge) + " wire is disconnected" +
+          point_suffix(*this);
+      break;
+    case Code::kEdgeMissesTerminal:
+      s = "edge " + std::to_string(edge) + " does not reach both terminals";
+      if (node != kNoId) s += " (missing node " + std::to_string(node) + ")";
+      break;
+    case Code::kParseBadHeader:
+      s = "bad header";
+      break;
+    case Code::kParseBadRecord:
+      s = "malformed record";
+      break;
+    case Code::kParseBadValue:
+      s = "value out of range";
+      break;
+    case Code::kParseTrailingGarbage:
+      s = "trailing garbage after layout";
+      break;
+    case Code::kFileMissing:
+      s = "cannot open file";
+      break;
+  }
+  if (line != 0) s = "line " + std::to_string(line) + ": " + s;
+  if (!detail.empty()) s += " [" + detail + "]";
+  return s;
+}
+
+bool DiagnosticSink::has(Code c) const {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [c](const Diagnostic& d) { return d.code == c; });
+}
+
+std::size_t DiagnosticSink::count(Code c) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [c](const Diagnostic& d) { return d.code == c; }));
+}
+
+std::string DiagnosticSink::summary() const {
+  if (diags_.empty()) return "clean";
+  // Count per code, preserving first-appearance order.
+  std::vector<std::pair<Code, std::size_t>> counts;
+  for (const Diagnostic& d : diags_) {
+    auto it = std::find_if(counts.begin(), counts.end(),
+                           [&](const auto& p) { return p.first == d.code; });
+    if (it == counts.end())
+      counts.emplace_back(d.code, 1);
+    else
+      ++it->second;
+  }
+  std::string s;
+  for (const auto& [code, n] : counts) {
+    if (!s.empty()) s += ", ";
+    s += std::to_string(n) + "x " + code_name(code);
+  }
+  if (dropped_ != 0) s += " (+" + std::to_string(dropped_) + " more)";
+  return s;
+}
+
+}  // namespace mlvl

@@ -1,0 +1,129 @@
+// Structured diagnostics for layout verification and serialization.
+//
+// Every way a layout or an input file can be wrong has a stable `Code`; a
+// `Diagnostic` pins the violation to an exact place (grid point, edge or node
+// id, input line). Producers append to a `DiagnosticSink`, which callers size
+// for their purpose: capacity 1 reproduces the historical first-failure
+// behaviour, a larger capacity collects every violation in one pass (the
+// `--doctor` mode of the layout tool, the fault-injection detection matrix,
+// and the repair pipeline all rely on the complete list).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlvl {
+
+/// Sentinel for "no edge/node implicated".
+inline constexpr std::uint32_t kNoId = 0xffffffffu;
+
+/// Every violation class the checker and the readers can report.
+enum class Code : std::uint16_t {
+  kNone = 0,
+
+  // Geometry frame.
+  kCoordRange,        ///< layout exceeds checker coordinate range
+  kBoxCountMismatch,  ///< box count != node count
+  kBoxUnknownNode,    ///< box names a node id outside the graph
+  kBoxDuplicate,      ///< two boxes claim the same node
+  kBoxOutOfBounds,    ///< box extends past the layout rectangle
+  kBoxLayerRange,     ///< box layer outside [1, num_layers]
+  kBoxOverlap,        ///< two node boxes share a grid point
+
+  // Per-record wire validity.
+  kSegUnknownEdge,    ///< segment names an edge id outside the graph
+  kSegMalformed,      ///< segment not axis-aligned or not normalized
+  kSegOutOfBounds,    ///< segment extends past the layout rectangle
+  kSegLayerRange,     ///< segment layer outside [1, num_layers]
+  kViaUnknownEdge,    ///< via names an edge id outside the graph
+  kViaSpanInvalid,    ///< via z-range empty or outside [1, num_layers]
+  kViaOutOfBounds,    ///< via (x, y) past the layout rectangle
+
+  // Global routing rules.
+  kPointCollision,      ///< one grid point claimed by two different edges
+  kTerminalTheft,       ///< wire enters the box of a non-endpoint node
+  kEdgeUnrouted,        ///< edge has no geometry at all
+  kEdgeDisconnected,    ///< edge geometry is not one connected component
+  kEdgeMissesTerminal,  ///< connected wire fails to touch an endpoint box
+
+  // Serialization.
+  kParseBadHeader,        ///< missing/unknown format tag or version
+  kParseBadRecord,        ///< record with wrong tag arity or non-numeric field
+  kParseBadValue,         ///< well-formed record with an out-of-range value
+  kParseTrailingGarbage,  ///< bytes after a complete graph+geometry block
+  kFileMissing,           ///< could not open the input file at all
+};
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+/// Stable kebab-case identifier for a code (table output, test labels).
+[[nodiscard]] const char* code_name(Code c);
+
+/// One concrete violation with its exact location.
+struct Diagnostic {
+  Code code = Code::kNone;
+  Severity severity = Severity::kError;
+
+  bool has_point = false;       ///< x/y/layer below are meaningful
+  std::uint32_t x = 0, y = 0;
+  std::uint16_t layer = 0;
+
+  std::uint32_t edge = kNoId;   ///< primary implicated edge
+  std::uint32_t edge2 = kNoId;  ///< second edge (point collisions)
+  std::uint32_t node = kNoId;   ///< implicated node
+  std::uint32_t line = 0;       ///< 1-based input line (parse codes), 0 = n/a
+
+  std::string detail;           ///< extra free-form context
+
+  /// Human-readable one-liner, e.g.
+  /// "wire collision at (4,7,3) between edge 12 and edge 31".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Bounded collector of diagnostics. Producers must stop doing expensive
+/// work once `full()`; a sink of capacity 1 therefore behaves like the
+/// historical first-failure checker.
+class DiagnosticSink {
+ public:
+  explicit DiagnosticSink(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Appends `d`; returns false (and counts the drop) when at capacity.
+  bool report(Diagnostic d) {
+    if (diags_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    diags_.push_back(std::move(d));
+    return true;
+  }
+
+  [[nodiscard]] bool full() const { return diags_.size() >= capacity_; }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+  [[nodiscard]] std::size_t size() const { return diags_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] const Diagnostic* first() const {
+    return diags_.empty() ? nullptr : &diags_.front();
+  }
+  [[nodiscard]] bool has(Code c) const;
+  [[nodiscard]] std::size_t count(Code c) const;
+
+  void clear() {
+    diags_.clear();
+    dropped_ = 0;
+  }
+
+  /// Aggregate one-liner, e.g. "3x point-collision, 1x box-overlap (+12 more)".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace mlvl

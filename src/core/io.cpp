@@ -1,11 +1,68 @@
 #include "core/io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 namespace mlvl::io {
+namespace {
+
+// Line-oriented scanner with one-line pushback, so a reader can stop at the
+// first tag it does not own and leave the stream (and the line count) for the
+// next section. Seeking to the remembered position needs a seekable stream,
+// which both file and string streams provide.
+struct Scanner {
+  std::istream& is;
+  std::uint32_t line;
+  std::istream::pos_type mark{};
+
+  bool next(std::string& out) {
+    mark = is.tellg();
+    if (!std::getline(is, out)) return false;
+    ++line;
+    return true;
+  }
+  void unread() {
+    is.clear();
+    is.seekg(mark);
+    --line;
+  }
+};
+
+std::vector<std::string> tokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t' && s[j] != '\r') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+template <typename U>
+bool parse_uint(const std::string& t, U& out) {
+  auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+  return ec == std::errc{} && p == t.data() + t.size();
+}
+
+void report(DiagnosticSink* sink, Code code, std::uint32_t line,
+            std::string detail) {
+  if (sink)
+    sink->report({.code = code, .line = line, .detail = std::move(detail)});
+}
+
+void sync_line(std::uint32_t* line_io, const Scanner& sc) {
+  if (line_io) *line_io = sc.line;
+}
+
+}  // namespace
 
 void write_graph(std::ostream& os, const Graph& g) {
   os << "mlvl-graph 1\n";
@@ -28,70 +85,196 @@ void write_geometry(std::ostream& os, const LayoutGeometry& geom) {
        << v.z2 << "\n";
 }
 
-std::optional<Graph> read_graph(std::istream& is) {
-  std::string tag;
-  int version = 0;
-  if (!(is >> tag >> version) || tag != "mlvl-graph" || version != 1)
+std::optional<Graph> read_graph(std::istream& is, DiagnosticSink* sink,
+                                std::uint32_t* line_io) {
+  Scanner sc{is, line_io ? *line_io : 0};
+  std::string ln;
+  std::vector<std::string> tk;
+  do {  // header, skipping blank lines
+    if (!sc.next(ln)) {
+      report(sink, Code::kParseBadHeader, sc.line, "missing mlvl-graph header");
+      sync_line(line_io, sc);
+      return std::nullopt;
+    }
+    tk = tokens(ln);
+  } while (tk.empty());
+  if (tk.size() != 2 || tk[0] != "mlvl-graph" || tk[1] != "1") {
+    report(sink, Code::kParseBadHeader, sc.line,
+           "expected 'mlvl-graph 1', got '" + ln + "'");
+    sync_line(line_io, sc);
     return std::nullopt;
+  }
+
   NodeId n = 0;
-  if (!(is >> tag >> n) || tag != "nodes") return std::nullopt;
+  do {
+    if (!sc.next(ln)) {
+      report(sink, Code::kParseBadRecord, sc.line, "missing 'nodes' record");
+      sync_line(line_io, sc);
+      return std::nullopt;
+    }
+    tk = tokens(ln);
+  } while (tk.empty());
+  if (tk.size() != 2 || tk[0] != "nodes" || !parse_uint(tk[1], n)) {
+    report(sink, Code::kParseBadRecord, sc.line,
+           "expected 'nodes <N>', got '" + ln + "'");
+    sync_line(line_io, sc);
+    return std::nullopt;
+  }
+
   Graph g(n);
-  while (is >> tag) {
-    if (tag != "edge") {
-      // Put the token back conceptually by remembering stream state is
-      // simpler with peek-based parsing; instead we stop at the first
-      // non-edge tag and rewind by its length.
-      for (auto it = tag.rbegin(); it != tag.rend(); ++it) is.putback(*it);
+  while (sc.next(ln)) {
+    tk = tokens(ln);
+    if (tk.empty()) continue;
+    if (tk[0] != "edge") {
+      sc.unread();
       break;
     }
     NodeId u = 0, v = 0;
-    if (!(is >> u >> v)) return std::nullopt;
-    if (u == v || u >= n || v >= n) return std::nullopt;
+    if (tk.size() != 3 || !parse_uint(tk[1], u) || !parse_uint(tk[2], v)) {
+      report(sink, Code::kParseBadRecord, sc.line,
+             "expected 'edge <u> <v>', got '" + ln + "'");
+      sync_line(line_io, sc);
+      return std::nullopt;
+    }
+    if (u == v) {
+      report(sink, Code::kParseBadValue, sc.line,
+             "self-loop at node " + tk[1]);
+      sync_line(line_io, sc);
+      return std::nullopt;
+    }
+    if (u >= n || v >= n) {
+      report(sink, Code::kParseBadValue, sc.line,
+             "edge endpoint beyond " + std::to_string(n) + " nodes");
+      sync_line(line_io, sc);
+      return std::nullopt;
+    }
     g.add_edge(u, v);
   }
   is.clear();
+  sync_line(line_io, sc);
   return g;
 }
 
-std::optional<LayoutGeometry> read_geometry(std::istream& is) {
-  std::string tag;
-  int version = 0;
-  if (!(is >> tag >> version) || tag != "mlvl-geom" || version != 1)
+std::optional<LayoutGeometry> read_geometry(std::istream& is,
+                                            DiagnosticSink* sink,
+                                            std::uint32_t* line_io) {
+  Scanner sc{is, line_io ? *line_io : 0};
+  std::string ln;
+  std::vector<std::string> tk;
+  do {
+    if (!sc.next(ln)) {
+      report(sink, Code::kParseBadHeader, sc.line, "missing mlvl-geom header");
+      sync_line(line_io, sc);
+      return std::nullopt;
+    }
+    tk = tokens(ln);
+  } while (tk.empty());
+  if (tk.size() != 2 || tk[0] != "mlvl-geom" || tk[1] != "1") {
+    report(sink, Code::kParseBadHeader, sc.line,
+           "expected 'mlvl-geom 1', got '" + ln + "'");
+    sync_line(line_io, sc);
     return std::nullopt;
+  }
+
   LayoutGeometry geom;
   std::uint32_t layers = 0;
-  if (!(is >> tag >> geom.width >> geom.height >> layers) || tag != "dims")
+  do {
+    if (!sc.next(ln)) {
+      report(sink, Code::kParseBadRecord, sc.line, "missing 'dims' record");
+      sync_line(line_io, sc);
+      return std::nullopt;
+    }
+    tk = tokens(ln);
+  } while (tk.empty());
+  if (tk.size() != 4 || tk[0] != "dims" || !parse_uint(tk[1], geom.width) ||
+      !parse_uint(tk[2], geom.height) || !parse_uint(tk[3], layers)) {
+    report(sink, Code::kParseBadRecord, sc.line,
+           "expected 'dims <w> <h> <layers>', got '" + ln + "'");
+    sync_line(line_io, sc);
     return std::nullopt;
+  }
+  if (layers > std::numeric_limits<std::uint16_t>::max()) {
+    report(sink, Code::kParseBadValue, sc.line,
+           "layer count " + tk[3] + " exceeds 65535");
+    sync_line(line_io, sc);
+    return std::nullopt;
+  }
   geom.num_layers = static_cast<std::uint16_t>(layers);
-  while (is >> tag) {
-    if (tag == "box") {
+
+  auto bad_record = [&](const char* want) {
+    report(sink, Code::kParseBadRecord, sc.line,
+           std::string("expected '") + want + "', got '" + ln + "'");
+    sync_line(line_io, sc);
+  };
+  auto layer_field = [&](const std::string& t, std::uint16_t& out) {
+    std::uint32_t v = 0;
+    if (!parse_uint(t, v) || v > std::numeric_limits<std::uint16_t>::max())
+      return false;
+    out = static_cast<std::uint16_t>(v);
+    return true;
+  };
+
+  while (sc.next(ln)) {
+    tk = tokens(ln);
+    if (tk.empty()) continue;
+    if (tk[0] == "box") {
       NodeBox b;
-      std::uint32_t layer = 0;
-      if (!(is >> b.node >> b.x >> b.y >> b.w >> b.h >> layer))
+      if (tk.size() != 7 || !parse_uint(tk[1], b.node) ||
+          !parse_uint(tk[2], b.x) || !parse_uint(tk[3], b.y) ||
+          !parse_uint(tk[4], b.w) || !parse_uint(tk[5], b.h) ||
+          !layer_field(tk[6], b.layer)) {
+        bad_record("box <node> <x> <y> <w> <h> <layer>");
         return std::nullopt;
-      b.layer = static_cast<std::uint16_t>(layer);
+      }
       geom.boxes.push_back(b);
-    } else if (tag == "seg") {
+    } else if (tk[0] == "seg") {
       WireSeg s;
-      std::uint32_t layer = 0;
-      if (!(is >> s.edge >> s.x1 >> s.y1 >> s.x2 >> s.y2 >> layer))
+      if (tk.size() != 7 || !parse_uint(tk[1], s.edge) ||
+          !parse_uint(tk[2], s.x1) || !parse_uint(tk[3], s.y1) ||
+          !parse_uint(tk[4], s.x2) || !parse_uint(tk[5], s.y2) ||
+          !layer_field(tk[6], s.layer)) {
+        bad_record("seg <edge> <x1> <y1> <x2> <y2> <layer>");
         return std::nullopt;
-      s.layer = static_cast<std::uint16_t>(layer);
+      }
       geom.segs.push_back(s);
-    } else if (tag == "via") {
+    } else if (tk[0] == "via") {
       Via v;
-      std::uint32_t z1 = 0, z2 = 0;
-      if (!(is >> v.edge >> v.x >> v.y >> z1 >> z2)) return std::nullopt;
-      v.z1 = static_cast<std::uint16_t>(z1);
-      v.z2 = static_cast<std::uint16_t>(z2);
+      if (tk.size() != 6 || !parse_uint(tk[1], v.edge) ||
+          !parse_uint(tk[2], v.x) || !parse_uint(tk[3], v.y) ||
+          !layer_field(tk[4], v.z1) || !layer_field(tk[5], v.z2)) {
+        bad_record("via <edge> <x> <y> <z1> <z2>");
+        return std::nullopt;
+      }
       geom.vias.push_back(v);
     } else {
-      for (auto it = tag.rbegin(); it != tag.rend(); ++it) is.putback(*it);
+      sc.unread();
       break;
     }
   }
   is.clear();
+  sync_line(line_io, sc);
   return geom;
+}
+
+std::optional<LoadedLayout> parse_layout(std::istream& is,
+                                         DiagnosticSink* sink) {
+  std::uint32_t line = 0;
+  auto g = read_graph(is, sink, &line);
+  if (!g) return std::nullopt;
+  auto geom = read_geometry(is, sink, &line);
+  if (!geom) return std::nullopt;
+  // A valid layout owns the rest of the stream: anything non-blank after the
+  // geometry block is a corruption signal, not an extension point.
+  std::string ln;
+  while (std::getline(is, ln)) {
+    ++line;
+    if (!tokens(ln).empty()) {
+      report(sink, Code::kParseTrailingGarbage, line, "'" + ln + "'");
+      return std::nullopt;
+    }
+  }
+  is.clear();
+  return LoadedLayout{std::move(*g), std::move(*geom)};
 }
 
 bool save_layout(const std::string& path, const Graph& g,
@@ -103,14 +286,14 @@ bool save_layout(const std::string& path, const Graph& g,
   return static_cast<bool>(out);
 }
 
-std::optional<LoadedLayout> load_layout(const std::string& path) {
+std::optional<LoadedLayout> load_layout(const std::string& path,
+                                        DiagnosticSink* sink) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  auto g = read_graph(in);
-  if (!g) return std::nullopt;
-  auto geom = read_geometry(in);
-  if (!geom) return std::nullopt;
-  return LoadedLayout{std::move(*g), std::move(*geom)};
+  if (!in) {
+    if (sink) sink->report({.code = Code::kFileMissing, .detail = path});
+    return std::nullopt;
+  }
+  return parse_layout(in, sink);
 }
 
 }  // namespace mlvl::io

@@ -13,12 +13,18 @@
 //   box <node> <x> <y> <w> <h> <layer>
 //   seg <edge> <x1> <y1> <x2> <y2> <layer>
 //   via <edge> <x> <y> <z1> <z2>
+//
+// The readers never throw and never crash on corrupt input: every failure
+// mode maps to a parse diagnostic (Code::kParse*) carrying the 1-based input
+// line, reported to the optional DiagnosticSink. The historical nullopt-only
+// API is preserved by defaulting the sink to nullptr.
 #pragma once
 
 #include <iosfwd>
 #include <optional>
 #include <string>
 
+#include "core/diagnostics.hpp"
 #include "core/geometry.hpp"
 #include "core/graph.hpp"
 
@@ -27,18 +33,33 @@ namespace mlvl::io {
 void write_graph(std::ostream& os, const Graph& g);
 void write_geometry(std::ostream& os, const LayoutGeometry& geom);
 
-/// Parse a graph; returns nullopt (and leaves the stream wherever parsing
-/// stopped) on malformed input.
-[[nodiscard]] std::optional<Graph> read_graph(std::istream& is);
-[[nodiscard]] std::optional<LayoutGeometry> read_geometry(std::istream& is);
+/// Parse a graph; returns nullopt on malformed input. When `sink` is given,
+/// every failure is reported with its input line number; `line` (in/out,
+/// optional) threads the running line count across consecutive sections of
+/// one stream.
+[[nodiscard]] std::optional<Graph> read_graph(std::istream& is,
+                                              DiagnosticSink* sink = nullptr,
+                                              std::uint32_t* line = nullptr);
+[[nodiscard]] std::optional<LayoutGeometry> read_geometry(
+    std::istream& is, DiagnosticSink* sink = nullptr,
+    std::uint32_t* line = nullptr);
 
-/// File helpers; return false on I/O or parse failure.
-bool save_layout(const std::string& path, const Graph& g,
-                 const LayoutGeometry& geom);
 struct LoadedLayout {
   Graph graph;
   LayoutGeometry geom;
 };
-[[nodiscard]] std::optional<LoadedLayout> load_layout(const std::string& path);
+
+/// Parse a full graph+geometry block and reject trailing garbage. All
+/// failures are diagnosed through `sink` (when given) with line numbers.
+[[nodiscard]] std::optional<LoadedLayout> parse_layout(
+    std::istream& is, DiagnosticSink* sink = nullptr);
+
+/// File helpers. `save_layout` returns false on I/O failure. `load_layout`
+/// distinguishes a missing file (Code::kFileMissing) from a parse failure
+/// (Code::kParse* with a line number) through `sink`.
+bool save_layout(const std::string& path, const Graph& g,
+                 const LayoutGeometry& geom);
+[[nodiscard]] std::optional<LoadedLayout> load_layout(
+    const std::string& path, DiagnosticSink* sink = nullptr);
 
 }  // namespace mlvl::io

@@ -1,0 +1,52 @@
+// Graceful degradation: rip-up and re-route for faulted layouts.
+//
+// Given a layout with violations, the repair pipeline (1) runs the checker
+// in collect-all mode, (2) deletes wire records whose frame is broken
+// (malformed, out-of-bounds, unknown edge, invalid via span), (3) rips up
+// every edge implicated by a diagnostic — both parties of a point collision,
+// the thief of a terminal, any disconnected / unrouted / stranded edge —
+// and (4) re-routes each ripped edge through the free capacity of the 3-D
+// grid with a maze router, then re-verifies. Violations of the layout frame
+// itself (overlapping or out-of-bounds node boxes, bad dimensions) cannot be
+// repaired by re-routing and are reported honestly as unrepairable, as are
+// edges for which no free path exists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/diagnostics.hpp"
+#include "core/geometry.hpp"
+#include "core/graph.hpp"
+#include "core/multilayer.hpp"
+
+namespace mlvl::robustness {
+
+struct RepairOptions {
+  ViaRule rule = ViaRule::kBlocking;
+  std::uint32_t max_passes = 3;          ///< rip-up/re-route/re-verify rounds
+  std::size_t max_diagnostics = 512;     ///< per-pass collection budget
+  /// Router give-up threshold: cells visited per edge before declaring it
+  /// unroutable (bounds worst-case work on dense or adversarial layouts).
+  std::uint64_t max_search_cells = 4u << 20;
+};
+
+struct RepairReport {
+  bool ok = false;                       ///< final layout is checker-clean
+  std::uint32_t passes = 0;
+  std::vector<EdgeId> ripped;            ///< edges torn out, in rip order
+  std::vector<EdgeId> rerouted;          ///< successfully re-routed
+  std::vector<EdgeId> failed;            ///< no free path found
+  /// Frame violations re-routing cannot address (box overlap, bad bounds).
+  std::vector<Diagnostic> unrepairable;
+  /// Diagnostics still present after the last pass (empty when ok).
+  std::vector<Diagnostic> remaining;
+};
+
+/// Repair `geom` in place. Never throws on bad geometry; the report says
+/// exactly what was fixed and what was not.
+RepairReport repair_layout(const Graph& g, LayoutGeometry& geom,
+                           const RepairOptions& opt = {});
+
+}  // namespace mlvl::robustness
