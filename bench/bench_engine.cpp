@@ -3,6 +3,7 @@
 // geometric verification at scale.
 #include <benchmark/benchmark.h>
 
+#include "analysis/lint.hpp"
 #include "bench_util.hpp"
 #include "core/collinear.hpp"
 #include "layout/ccc_layout.hpp"
@@ -55,6 +56,21 @@ void BM_CheckGeometry(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * o.graph.num_edges());
 }
 
+void BM_LintGeometry(benchmark::State& state) {
+  Orthogonal2Layer o =
+      layout::layout_hypercube(static_cast<std::uint32_t>(state.range(0)));
+  MultilayerLayout ml = realize(o, {.L = 8});
+  analysis::LintConfig cfg;
+  cfg.via_rule = ml.required_rule;
+  for (auto _ : state) {
+    DiagnosticSink sink(256);
+    analysis::LintStats stats = analysis::lint_layout(o.graph, ml.geom, cfg, sink);
+    if (!stats.clean()) state.SkipWithError(sink.summary().c_str());
+    benchmark::DoNotOptimize(stats.reported);
+  }
+  state.SetItemsProcessed(state.iterations() * o.graph.num_edges());
+}
+
 void BM_EndToEndCcc(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
@@ -68,6 +84,7 @@ BENCHMARK(BM_TopologyHypercube)->Arg(10)->Arg(14)->Arg(16);
 BENCHMARK(BM_TrackAssignment)->Arg(8)->Arg(10)->Arg(12);
 BENCHMARK(BM_RealizeGeometry)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CheckGeometry)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LintGeometry)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndCcc)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace

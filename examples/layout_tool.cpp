@@ -5,6 +5,8 @@
 //
 //   example_layout_tool <network> [options]
 //   example_layout_tool --doctor <file> [-repair] [-save file] [-transparent]
+//   example_layout_tool --lint <file> [-strict] [-baseline file]
+//                       [-save-baseline file] [-disable rule] [-transparent]
 //
 // networks:
 //   hypercube <n> | kary <k> <n> | mesh <k> <n> | ghc <r> <n>
@@ -21,17 +23,26 @@
 //   -repair          rip up implicated edges and re-route through free cells
 //   -save <file>     write the (repaired) layout back out
 //   -transparent     verify under the stacked-via rule instead of blocking
+// lint options:
+//   -strict              exit 1 when any unsuppressed warning remains
+//   -baseline <file>     suppress the finding fingerprints listed in file
+//   -save-baseline <f>   write the current findings as a baseline and exit 0
+//   -disable <rule-id>   turn one rule off (repeatable)
+//   -transparent         lint under the stacked-via rule instead of blocking
 //
-// exit codes: 0 layout valid (or repaired clean), 1 layout invalid or
-// runtime failure, 2 input file missing/unparseable, 3 usage error.
+// exit codes: 0 layout valid (or repaired clean, or lint clean), 1 layout
+// invalid / lint error / -strict warnings, 2 input file missing or
+// unparseable, 3 usage error.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <new>
 #include <stdexcept>
 #include <string>
 
 #include "analysis/congestion.hpp"
+#include "analysis/lint.hpp"
 #include "analysis/report.hpp"
 #include "analysis/routing.hpp"
 #include "core/checker.hpp"
@@ -65,6 +76,10 @@ int usage() {
                "[-svg file] [-save file] [-congestion] [-nocheck]\n"
                "       example_layout_tool --doctor <file> [-repair] "
                "[-save file] [-transparent]\n"
+               "       example_layout_tool --lint <file> [-strict] "
+               "[-baseline file]\n"
+               "                           [-save-baseline file] "
+               "[-disable rule] [-transparent]\n"
                "networks: hypercube n | kary k n | mesh k n | ghc r n |\n"
                "          folded n | enhanced n seed | ccc n | rh n |\n"
                "          hsn levels r | hhn levels m | isn levels r |\n"
@@ -154,11 +169,94 @@ int run_doctor(const std::vector<std::string>& args) {
   return kExitInvalid;
 }
 
+int run_lint(const std::vector<std::string>& args) {
+  std::string file, baseline_path, save_baseline_path;
+  bool strict = false;
+  analysis::LintConfig cfg;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-strict") {
+      strict = true;
+    } else if (args[i] == "-transparent") {
+      cfg.via_rule = ViaRule::kTransparent;
+    } else if (args[i] == "-baseline" && i + 1 < args.size()) {
+      baseline_path = args[++i];
+    } else if (args[i] == "-save-baseline" && i + 1 < args.size()) {
+      save_baseline_path = args[++i];
+    } else if (args[i] == "-disable" && i + 1 < args.size()) {
+      auto rule = analysis::lint_rule_from_id(args[++i]);
+      if (!rule) {
+        std::cerr << "lint: unknown rule id '" << args[i] << "'\n";
+        return usage();
+      }
+      cfg.disable(*rule);
+    } else if (file.empty() && !args[i].empty() && args[i][0] != '-') {
+      file = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) return usage();
+
+  DiagnosticSink load_sink(64);
+  auto loaded = io::load_layout(file, &load_sink);
+  if (!loaded) {
+    std::cout << "lint: cannot load " << file << "\n";
+    print_diagnostics(load_sink);
+    return kExitParseError;
+  }
+  if (!baseline_path.empty()) {
+    auto base = analysis::LintBaseline::load(baseline_path);
+    if (!base) {
+      std::cout << "lint: cannot load baseline " << baseline_path << "\n";
+      return kExitParseError;
+    }
+    cfg.baseline = std::move(*base);
+  }
+
+  DiagnosticSink sink(1024);
+  analysis::LintStats stats =
+      analysis::lint_layout(loaded->graph, loaded->geom, cfg, sink);
+
+  if (!save_baseline_path.empty()) {
+    analysis::LintBaseline out = cfg.baseline;
+    for (const Diagnostic& d : sink.diagnostics())
+      out.add(analysis::lint_fingerprint(d));
+    std::ofstream os(save_baseline_path);
+    if (!os) {
+      std::cerr << "failed to write " << save_baseline_path << "\n";
+      return kExitInvalid;
+    }
+    out.write(os);
+    std::cout << "lint: wrote baseline with " << out.size() << " entries to "
+              << save_baseline_path << "\n";
+    return kExitValid;
+  }
+
+  if (stats.clean()) {
+    std::cout << "lint: clean";
+    if (stats.suppressed != 0)
+      std::cout << " (" << stats.suppressed << " finding(s) suppressed by "
+                << "baseline)";
+    std::cout << "\n";
+    return kExitValid;
+  }
+  std::cout << "lint: " << stats.reported << " finding(s)";
+  if (stats.suppressed != 0)
+    std::cout << ", " << stats.suppressed << " suppressed";
+  if (sink.dropped() != 0) std::cout << " (+" << sink.dropped() << " dropped)";
+  std::cout << ":\n";
+  print_diagnostics(sink);
+  if (sink.errors() != 0) return kExitInvalid;
+  return strict ? kExitInvalid : kExitValid;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args[0] == "--doctor")
     return run_doctor({args.begin() + 1, args.end()});
+  if (args[0] == "--lint")
+    return run_lint({args.begin() + 1, args.end()});
 
   std::uint32_t L = 4;
   std::string svg_path, save_path;

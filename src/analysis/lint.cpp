@@ -1,0 +1,133 @@
+// Registry, configuration, baseline handling and the lint driver. The rule
+// bodies live in lint_rules.cpp; this file owns everything rule-agnostic.
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace mlvl::analysis {
+namespace {
+
+using detail::LintEmit;
+
+constexpr LintRuleInfo kRegistry[] = {
+    {LintRule::kLayerParity, Code::kLintLayerParity, "layer-parity",
+     "horizontal runs ride odd layers, vertical runs even layers"},
+    {LintRule::kTurnViaGroup, Code::kLintTurnViaGroup, "turn-via-group",
+     "turn vias pair the two layers of one group g (2g+1 <-> 2g+2)"},
+    {LintRule::kViaSpanWide, Code::kLintViaSpanWide, "via-span-wide",
+     "turn vias span one boundary under the strict grid model"},
+    {LintRule::kThompsonKnockKnee, Code::kLintKnockKnee, "thompson-knock-knee",
+     "no two edges bend at one grid point in an L=2 layout"},
+    {LintRule::kTerminalRiserOfftrack, Code::kLintTerminalRiser,
+     "terminal-riser-offtrack",
+     "terminal risers land on a node box perimeter terminal"},
+    {LintRule::kZeroLengthSeg, Code::kLintZeroLengthSeg, "zero-length-seg",
+     "no degenerate single-point segments"},
+    {LintRule::kMergeableRuns, Code::kLintMergeableRuns, "mergeable-runs",
+     "no adjacent collinear same-edge same-layer runs"},
+    {LintRule::kRedundantVia, Code::kLintRedundantVia, "redundant-via",
+     "no overlapping same-edge via columns at one (x, y)"},
+    {LintRule::kDeadTrack, Code::kLintDeadTrack, "dead-track",
+     "no fully unused row or column inside the content box"},
+    {LintRule::kBboxSlack, Code::kLintBboxSlack, "bbox-slack",
+     "the declared bounding box is tight to the content"},
+};
+
+static_assert(std::size(kRegistry) == kNumLintRules,
+              "registry must cover every LintRule");
+
+}  // namespace
+
+std::span<const LintRuleInfo> lint_registry() { return kRegistry; }
+
+const LintRuleInfo& lint_rule_info(LintRule r) {
+  return kRegistry[static_cast<std::size_t>(r)];
+}
+
+std::optional<LintRule> lint_rule_from_id(std::string_view id) {
+  for (const LintRuleInfo& info : kRegistry)
+    if (id == info.id) return info.rule;
+  return std::nullopt;
+}
+
+std::string lint_fingerprint(const Diagnostic& d) {
+  std::string fp = code_name(d.code);
+  if (d.edge != kNoId) fp += " edge=" + std::to_string(d.edge);
+  if (d.edge2 != kNoId) fp += " edge2=" + std::to_string(d.edge2);
+  if (d.node != kNoId) fp += " node=" + std::to_string(d.node);
+  if (d.has_point)
+    fp += " at=(" + std::to_string(d.x) + "," + std::to_string(d.y) + "," +
+          std::to_string(d.layer) + ")";
+  return fp;
+}
+
+LintBaseline LintBaseline::parse(std::istream& is) {
+  LintBaseline b;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim surrounding whitespace.
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    b.add(line.substr(first, last - first + 1));
+  }
+  return b;
+}
+
+std::optional<LintBaseline> LintBaseline::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return parse(is);
+}
+
+void LintBaseline::add(std::string fingerprint) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), fingerprint);
+  if (it != entries_.end() && *it == fingerprint) return;
+  entries_.insert(it, std::move(fingerprint));
+}
+
+bool LintBaseline::suppresses(const Diagnostic& d) const {
+  if (entries_.empty()) return false;
+  auto has = [&](const std::string& key) {
+    return std::binary_search(entries_.begin(), entries_.end(), key);
+  };
+  return has(std::string(code_name(d.code)) + " *") ||
+         has(lint_fingerprint(d));
+}
+
+void LintBaseline::write(std::ostream& os) const {
+  os << "# mlvl-lint suppression baseline: one fingerprint per line;\n"
+     << "# \"<rule-id> *\" suppresses a whole rule. '#' starts a comment.\n";
+  for (const std::string& e : entries_) os << e << "\n";
+}
+
+LintStats lint_layout(const Graph& g, const LayoutGeometry& geom,
+                      const LintConfig& cfg, DiagnosticSink& sink) {
+  LintStats stats;
+  for (const LintRuleInfo& info : kRegistry) {
+    const std::size_t idx = static_cast<std::size_t>(info.rule);
+    if (!cfg.enabled[idx]) continue;
+    if (sink.full()) break;
+    const LintEmit emit = [&](Diagnostic d) {
+      d.code = info.code;
+      d.severity = cfg.severity[idx];
+      if (cfg.baseline.suppresses(d)) {
+        ++stats.suppressed;
+        return;
+      }
+      if (sink.report(std::move(d))) {
+        ++stats.per_rule[idx];
+        ++stats.reported;
+      }
+    };
+    detail::run_lint_rule(info.rule, g, geom, cfg, emit);
+  }
+  return stats;
+}
+
+}  // namespace mlvl::analysis

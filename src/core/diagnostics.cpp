@@ -41,6 +41,16 @@ const char* code_name(Code c) {
     case Code::kParseBadValue: return "parse-bad-value";
     case Code::kParseTrailingGarbage: return "parse-trailing-garbage";
     case Code::kFileMissing: return "file-missing";
+    case Code::kLintLayerParity: return "layer-parity";
+    case Code::kLintTurnViaGroup: return "turn-via-group";
+    case Code::kLintViaSpanWide: return "via-span-wide";
+    case Code::kLintKnockKnee: return "thompson-knock-knee";
+    case Code::kLintTerminalRiser: return "terminal-riser-offtrack";
+    case Code::kLintZeroLengthSeg: return "zero-length-seg";
+    case Code::kLintMergeableRuns: return "mergeable-runs";
+    case Code::kLintRedundantVia: return "redundant-via";
+    case Code::kLintDeadTrack: return "dead-track";
+    case Code::kLintBboxSlack: return "bbox-slack";
   }
   return "unknown";
 }
@@ -139,10 +149,82 @@ std::string Diagnostic::to_string() const {
     case Code::kFileMissing:
       s = "cannot open file";
       break;
+    case Code::kLintLayerParity:
+      s = "run on wrong-parity layer" + point_suffix(*this);
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kLintTurnViaGroup:
+      s = "turn via pairs two layer groups" + point_suffix(*this);
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kLintViaSpanWide:
+      s = "turn via spans more than one boundary" + point_suffix(*this);
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kLintKnockKnee:
+      s = "knock-knee" + point_suffix(*this);
+      if (edge != kNoId && edge2 != kNoId)
+        s += " between edge " + std::to_string(edge) + " and edge " +
+             std::to_string(edge2);
+      break;
+    case Code::kLintTerminalRiser:
+      s = "riser lands inside box interior of node " + std::to_string(node) +
+          point_suffix(*this);
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kLintZeroLengthSeg:
+      s = "zero-length segment" + point_suffix(*this);
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kLintMergeableRuns:
+      s = "mergeable collinear runs" + point_suffix(*this);
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kLintRedundantVia:
+      s = "redundant via" + point_suffix(*this);
+      if (edge != kNoId) s += " (edge " + std::to_string(edge) + ")";
+      break;
+    case Code::kLintDeadTrack:
+      s = "dead track";
+      break;
+    case Code::kLintBboxSlack:
+      s = "bounding box not tight to content";
+      break;
   }
   if (line != 0) s = "line " + std::to_string(line) + ": " + s;
   if (!detail.empty()) s += " [" + detail + "]";
   return s;
+}
+
+bool DiagnosticSink::report(Diagnostic d) {
+  if (diags_.size() >= capacity_) {
+    if (d.severity == Severity::kError) {
+      // Evict the newest warning so errors are never crowded out.
+      auto it = std::find_if(
+          diags_.rbegin(), diags_.rend(),
+          [](const Diagnostic& x) { return x.severity == Severity::kWarning; });
+      if (it != diags_.rend()) {
+        *it = std::move(d);
+        ++dropped_;
+        return true;
+      }
+    }
+    ++dropped_;
+    return false;
+  }
+  diags_.push_back(std::move(d));
+  return true;
+}
+
+std::size_t DiagnosticSink::errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kError;
+      }));
+}
+
+std::size_t DiagnosticSink::warnings() const {
+  return diags_.size() - errors();
 }
 
 bool DiagnosticSink::has(Code c) const {

@@ -53,6 +53,19 @@ enum class Code : std::uint16_t {
   kParseBadValue,         ///< well-formed record with an out-of-range value
   kParseTrailingGarbage,  ///< bytes after a complete graph+geometry block
   kFileMissing,           ///< could not open the input file at all
+
+  // Static lint (Severity::kWarning producers; see analysis/lint). Each code
+  // is one lint rule; the kebab-case code_name is the rule's stable id.
+  kLintLayerParity,     ///< horizontal run on an even layer or vice versa
+  kLintTurnViaGroup,    ///< turn via pairs layers of two different groups
+  kLintViaSpanWide,     ///< turn via spans >1 boundary under the strict rule
+  kLintKnockKnee,       ///< two edges bend at one point in an L=2 layout
+  kLintTerminalRiser,   ///< riser lands in a node box interior, not a terminal
+  kLintZeroLengthSeg,   ///< degenerate single-point segment
+  kLintMergeableRuns,   ///< adjacent collinear same-edge same-layer runs
+  kLintRedundantVia,    ///< overlapping same-edge vias at one (x, y)
+  kLintDeadTrack,       ///< fully unused row/column inside the content box
+  kLintBboxSlack,       ///< declared bounding box not tight to content
 };
 
 enum class Severity : std::uint8_t { kWarning, kError };
@@ -74,7 +87,7 @@ struct Diagnostic {
   std::uint32_t node = kNoId;   ///< implicated node
   std::uint32_t line = 0;       ///< 1-based input line (parse codes), 0 = n/a
 
-  std::string detail;           ///< extra free-form context
+  std::string detail{};         ///< extra free-form context
 
   /// Human-readable one-liner, e.g.
   /// "wire collision at (4,7,3) between edge 12 and edge 31".
@@ -88,15 +101,12 @@ class DiagnosticSink {
  public:
   explicit DiagnosticSink(std::size_t capacity = 256) : capacity_(capacity) {}
 
-  /// Appends `d`; returns false (and counts the drop) when at capacity.
-  bool report(Diagnostic d) {
-    if (diags_.size() >= capacity_) {
-      ++dropped_;
-      return false;
-    }
-    diags_.push_back(std::move(d));
-    return true;
-  }
+  /// Appends `d`. At capacity, a warning is dropped (returns false, counts
+  /// the drop) but an error evicts the newest warning, so a full sink never
+  /// hides an error behind earlier warnings: a capacity-1 sink keeps the
+  /// first *error*, reproducing the historical first-failure checker even
+  /// when warnings share the sink.
+  bool report(Diagnostic d);
 
   [[nodiscard]] bool full() const { return diags_.size() >= capacity_; }
   [[nodiscard]] bool empty() const { return diags_.empty(); }
@@ -111,6 +121,9 @@ class DiagnosticSink {
   }
   [[nodiscard]] bool has(Code c) const;
   [[nodiscard]] std::size_t count(Code c) const;
+  /// Retained diagnostics by severity (dropped/evicted ones not included).
+  [[nodiscard]] std::size_t errors() const;
+  [[nodiscard]] std::size_t warnings() const;
 
   void clear() {
     diags_.clear();

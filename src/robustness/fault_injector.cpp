@@ -1,6 +1,7 @@
 #include "robustness/fault_injector.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "core/gridkey.hpp"
@@ -451,6 +452,84 @@ std::optional<InjectedFault> unroute_edge(const Graph& g, LayoutGeometry& geom,
   return std::nullopt;
 }
 
+// --- discipline operators (checker-invisible, linter-visible) ---------------
+
+std::optional<InjectedFault> demote_to_wrong_layer(const Graph& g,
+                                                   LayoutGeometry& geom,
+                                                   std::uint64_t seed) {
+  // Move a horizontal run to an even layer while provably keeping the layout
+  // checker-valid: every target cell must be free of foreign geometry and of
+  // node boxes, and the edge must stay one connected component that still
+  // reaches both terminal boxes. The result breaks only the Sec. 2.4 layer
+  // discipline — Code::kLintLayerParity, which check_layout_all never emits.
+  std::vector<std::pair<std::uint64_t, EdgeId>> occ;
+  for (const WireSeg& s : geom.segs)
+    for (std::uint32_t yy = s.y1; yy <= s.y2; ++yy)
+      for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
+        occ.emplace_back(key3(xx, yy, s.layer), s.edge);
+  for (const Via& v : geom.vias)
+    for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz)
+      occ.emplace_back(key3(v.x, v.y, zz), v.edge);
+  std::sort(occ.begin(), occ.end());
+  auto blocked = [&](std::uint64_t k, EdgeId own) {
+    auto it = std::lower_bound(occ.begin(), occ.end(),
+                               std::make_pair(k, EdgeId{0}));
+    for (; it != occ.end() && it->first == k; ++it)
+      if (it->second != own) return true;
+    return false;
+  };
+  auto in_any_box = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return std::any_of(geom.boxes.begin(), geom.boxes.end(),
+                       [&](const NodeBox& b) {
+                         return b.layer == z && b.contains(x, y);
+                       });
+  };
+
+  Rotation rot(geom.segs.size(), seed);
+  for (std::size_t i; rot.next(i);) {
+    WireSeg& s = geom.segs[i];
+    if (!s.horizontal() || s.x1 == s.x2 || s.layer % 2 == 0) continue;
+    for (std::uint32_t l2 = 2; l2 <= geom.num_layers; l2 += 2) {
+      bool free = true;
+      for (std::uint32_t xx = s.x1; xx <= s.x2 && free; ++xx)
+        free = !blocked(key3(xx, s.y1, l2), s.edge) &&
+               !in_any_box(xx, s.y1, l2);
+      if (!free) continue;
+      const std::uint16_t old_layer = s.layer;
+      s.layer = static_cast<std::uint16_t>(l2);
+      const auto cells = edge_cells(geom, s.edge);
+      bool valid = one_component(cells);
+      if (valid) {
+        // Both terminal boxes must still be reached on their active layer.
+        const Edge& ed = g.edge(s.edge);
+        for (NodeId end : {ed.u, ed.v}) {
+          bool reached = false;
+          for (const NodeBox& b : geom.boxes) {
+            if (b.node != end) continue;
+            reached = std::any_of(
+                cells.begin(), cells.end(), [&](std::uint64_t k) {
+                  return key_z(k) == b.layer &&
+                         b.contains(key_x(k), key_y(k));
+                });
+            if (reached) break;
+          }
+          valid = valid && reached;
+        }
+      }
+      if (!valid) {
+        s.layer = old_layer;
+        continue;
+      }
+      return made(FaultKind::kDemoteToWrongLayer,
+                  "seg " + std::to_string(i) + " of edge " +
+                      std::to_string(s.edge) + " demoted from layer " +
+                      std::to_string(old_layer) + " to even layer " +
+                      std::to_string(l2));
+    }
+  }
+  return std::nullopt;
+}
+
 // --- serialized-text operators ---------------------------------------------
 
 std::optional<InjectedFault> corrupt_header(std::string& text) {
@@ -487,8 +566,8 @@ std::span<const FaultKind> all_faults() {
       FaultKind::kStealTerminal,        FaultKind::kOverlapNodeBoxes,
       FaultKind::kDuplicateNodeBox,     FaultKind::kPushBoxOutOfBounds,
       FaultKind::kShrinkBoundingBox,    FaultKind::kUnrouteEdge,
-      FaultKind::kCorruptHeader,        FaultKind::kTruncateRecord,
-      FaultKind::kAppendGarbage,
+      FaultKind::kDemoteToWrongLayer,   FaultKind::kCorruptHeader,
+      FaultKind::kTruncateRecord,       FaultKind::kAppendGarbage,
   };
   return kAll;
 }
@@ -509,6 +588,7 @@ const char* fault_name(FaultKind k) {
     case FaultKind::kPushBoxOutOfBounds: return "push-box-out-of-bounds";
     case FaultKind::kShrinkBoundingBox: return "shrink-bounding-box";
     case FaultKind::kUnrouteEdge: return "unroute-edge";
+    case FaultKind::kDemoteToWrongLayer: return "demote-to-wrong-layer";
     case FaultKind::kCorruptHeader: return "corrupt-header";
     case FaultKind::kTruncateRecord: return "truncate-record";
     case FaultKind::kAppendGarbage: return "append-garbage";
@@ -519,6 +599,10 @@ const char* fault_name(FaultKind k) {
 bool is_text_fault(FaultKind k) {
   return k == FaultKind::kCorruptHeader || k == FaultKind::kTruncateRecord ||
          k == FaultKind::kAppendGarbage;
+}
+
+bool is_lint_fault(FaultKind k) {
+  return k == FaultKind::kDemoteToWrongLayer;
 }
 
 Code expected_code(FaultKind k) {
@@ -537,6 +621,7 @@ Code expected_code(FaultKind k) {
     case FaultKind::kPushBoxOutOfBounds: return Code::kBoxOutOfBounds;
     case FaultKind::kShrinkBoundingBox: return Code::kSegOutOfBounds;
     case FaultKind::kUnrouteEdge: return Code::kEdgeUnrouted;
+    case FaultKind::kDemoteToWrongLayer: return Code::kLintLayerParity;
     case FaultKind::kCorruptHeader: return Code::kParseBadHeader;
     case FaultKind::kTruncateRecord: return Code::kParseBadRecord;
     case FaultKind::kAppendGarbage: return Code::kParseTrailingGarbage;
@@ -562,6 +647,8 @@ std::optional<InjectedFault> inject(FaultKind kind, const Graph& g,
     case FaultKind::kPushBoxOutOfBounds: return push_box_out(g, geom, seed);
     case FaultKind::kShrinkBoundingBox: return shrink_bounds(g, geom, seed);
     case FaultKind::kUnrouteEdge: return unroute_edge(g, geom, seed);
+    case FaultKind::kDemoteToWrongLayer:
+      return demote_to_wrong_layer(g, geom, seed);
     default: return std::nullopt;  // text faults need inject_text
   }
 }

@@ -39,6 +39,9 @@ enum class FaultKind : std::uint8_t {
   kPushBoxOutOfBounds,    ///< move a box past the layout rectangle
   kShrinkBoundingBox,     ///< shrink the declared grid under live wires
   kUnrouteEdge,           ///< delete every segment and via of one edge
+  // Discipline faults: invisible to the checker (the layout stays valid),
+  // guaranteed to trip the linter (analysis/lint).
+  kDemoteToWrongLayer,    ///< move a horizontal run to an even layer
   // Serialized-text faults (mutate an mlvl v1 text blob in place).
   kCorruptHeader,         ///< damage the format tag
   kTruncateRecord,        ///< cut the blob mid-record
@@ -57,6 +60,9 @@ struct InjectedFault {
 [[nodiscard]] const char* fault_name(FaultKind k);
 /// True for the operators that corrupt serialized text instead of geometry.
 [[nodiscard]] bool is_text_fault(FaultKind k);
+/// True for the operators whose corruption keeps the layout checker-valid
+/// and is detected by the linter instead (expected_code is a lint code).
+[[nodiscard]] bool is_lint_fault(FaultKind k);
 /// The diagnostic code the operator declares it must trigger.
 [[nodiscard]] Code expected_code(FaultKind k);
 

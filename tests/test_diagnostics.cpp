@@ -83,8 +83,12 @@ TEST(Diagnostics, CollectsEveryViolationWithCoordinates) {
   }
   EXPECT_TRUE(found);
   for (const Diagnostic& d : sink.diagnostics()) {
-    if (d.code == Code::kEdgeUnrouted) EXPECT_EQ(d.edge, 2u);
-    if (d.code == Code::kEdgeDisconnected) EXPECT_EQ(d.edge, 1u);
+    if (d.code == Code::kEdgeUnrouted) {
+      EXPECT_EQ(d.edge, 2u);
+    }
+    if (d.code == Code::kEdgeDisconnected) {
+      EXPECT_EQ(d.edge, 1u);
+    }
   }
 }
 
@@ -110,6 +114,65 @@ TEST(Diagnostics, SinkIsBounded) {
   sink.clear();
   EXPECT_TRUE(sink.empty());
   EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(Diagnostics, CountsWarningsAndErrorsSeparately) {
+  DiagnosticSink sink(8);
+  EXPECT_TRUE(sink.report({.code = Code::kLintLayerParity,
+                           .severity = Severity::kWarning}));
+  EXPECT_TRUE(sink.report({.code = Code::kEdgeUnrouted, .edge = 0}));
+  EXPECT_TRUE(sink.report({.code = Code::kLintDeadTrack,
+                           .severity = Severity::kWarning}));
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.errors(), 1u);
+  EXPECT_EQ(sink.warnings(), 2u);
+  sink.clear();
+  EXPECT_EQ(sink.errors(), 0u);
+  EXPECT_EQ(sink.warnings(), 0u);
+}
+
+TEST(Diagnostics, ErrorEvictsNewestWarningAtCapacity) {
+  // A capacity-1 sink fed a warning first must still surface the first
+  // *error*: the historical first-failure contract is about errors, and a
+  // full-of-warnings sink must never hide one.
+  DiagnosticSink sink(1);
+  EXPECT_TRUE(sink.report({.code = Code::kLintLayerParity,
+                           .severity = Severity::kWarning}));
+  EXPECT_TRUE(sink.full());
+  EXPECT_TRUE(sink.report({.code = Code::kEdgeUnrouted, .edge = 3}));
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.first()->code, Code::kEdgeUnrouted);
+  EXPECT_EQ(sink.dropped(), 1u);  // the evicted warning counts as dropped
+  // A second error finds no warning to evict: the first error is kept.
+  EXPECT_FALSE(sink.report({.code = Code::kEdgeDisconnected, .edge = 4}));
+  EXPECT_EQ(sink.first()->code, Code::kEdgeUnrouted);
+  EXPECT_EQ(sink.dropped(), 2u);
+}
+
+TEST(Diagnostics, WarningsAreDroppedAtCapacity) {
+  DiagnosticSink sink(1);
+  EXPECT_TRUE(sink.report({.code = Code::kEdgeUnrouted, .edge = 0}));
+  EXPECT_FALSE(sink.report({.code = Code::kLintDeadTrack,
+                            .severity = Severity::kWarning}));
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.first()->code, Code::kEdgeUnrouted);
+  EXPECT_EQ(sink.dropped(), 1u);
+}
+
+TEST(Diagnostics, EvictionTargetsNewestWarning) {
+  // With two buffered warnings the error replaces the newest one, keeping
+  // the earlier (more actionable) warning stable.
+  DiagnosticSink sink(2);
+  EXPECT_TRUE(sink.report({.code = Code::kLintLayerParity,
+                           .severity = Severity::kWarning}));
+  EXPECT_TRUE(sink.report({.code = Code::kLintDeadTrack,
+                           .severity = Severity::kWarning}));
+  EXPECT_TRUE(sink.report({.code = Code::kEdgeUnrouted, .edge = 1}));
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.diagnostics()[0].code, Code::kLintLayerParity);
+  EXPECT_EQ(sink.diagnostics()[1].code, Code::kEdgeUnrouted);
+  EXPECT_EQ(sink.errors(), 1u);
+  EXPECT_EQ(sink.warnings(), 1u);
 }
 
 TEST(Diagnostics, CheckerRespectsSinkCapacity) {

@@ -9,10 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "core/checker.hpp"
 #include "core/io.hpp"
 #include "core/multilayer.hpp"
 #include "layout/ghc_layout.hpp"
+#include "layout/hypercube_layout.hpp"
 #include "layout/kary_layout.hpp"
 #include "robustness/fault_injector.hpp"
 
@@ -59,6 +61,9 @@ TEST(FaultMatrix, CatalogIsTotal) {
 TEST(FaultMatrix, EveryGeometryOperatorTriggersItsDeclaredCode) {
   for (FaultKind k : robustness::all_faults()) {
     if (robustness::is_text_fault(k)) continue;
+    // Lint faults keep the layout checker-valid by design; they have their
+    // own detection test below.
+    if (robustness::is_lint_fault(k)) continue;
     bool applied = false;
     for (Case& c : fixtures()) {
       for (std::uint64_t seed : kSeeds) {
@@ -81,6 +86,58 @@ TEST(FaultMatrix, EveryGeometryOperatorTriggersItsDeclaredCode) {
     EXPECT_TRUE(applied)
         << robustness::fault_name(k) << " applied to no fixture/seed at all";
   }
+}
+
+TEST(FaultMatrix, LintFaultIsInvisibleToCheckerButCaughtByLinter) {
+  // The discipline operator must prove the checker/linter division of labor:
+  // after demote_to_wrong_layer the layout is still checker-valid (that is
+  // the operator's constructive precondition), yet the linter reports the
+  // declared layer-parity code. Deep layer stacks leave even layers sparse,
+  // so applicable sites are guaranteed on the L=8 fixture.
+  std::vector<Case> cases;
+  {
+    Orthogonal2Layer o = layout::layout_hypercube(3);
+    MultilayerLayout ml = realize(o, {.L = 8});
+    cases.push_back({"hypercube(3) L=8", std::move(o), std::move(ml)});
+  }
+  for (Case& c : fixtures()) cases.push_back({c.name, c.o, c.ml});
+
+  ASSERT_TRUE(robustness::is_lint_fault(FaultKind::kDemoteToWrongLayer));
+  ASSERT_EQ(robustness::expected_code(FaultKind::kDemoteToWrongLayer),
+            Code::kLintLayerParity);
+
+  bool applied = false;
+  for (Case& c : cases) {
+    // A pristine construction is lint-clean to begin with.
+    analysis::LintConfig cfg;
+    cfg.via_rule = c.ml.required_rule;
+    {
+      DiagnosticSink clean_sink(256);
+      ASSERT_TRUE(
+          analysis::lint_layout(c.o.graph, c.ml.geom, cfg, clean_sink).clean())
+          << c.name << ": " << clean_sink.summary();
+    }
+    for (std::uint64_t seed : kSeeds) {
+      LayoutGeometry geom = c.ml.geom;
+      auto fault = robustness::inject(FaultKind::kDemoteToWrongLayer,
+                                      c.o.graph, geom, seed);
+      if (!fault) continue;
+      applied = true;
+      // Checker-invisible: the mutated layout still passes full validation.
+      DiagnosticSink check_sink(4096);
+      check_layout_all(c.o.graph, geom, c.ml.required_rule, check_sink);
+      EXPECT_TRUE(check_sink.empty())
+          << c.name << " seed " << seed << " (" << fault->note
+          << "): " << check_sink.summary();
+      // Linter-visible: the declared code is reported.
+      DiagnosticSink lint_sink(256);
+      analysis::lint_layout(c.o.graph, geom, cfg, lint_sink);
+      EXPECT_TRUE(lint_sink.has(fault->expected))
+          << c.name << " seed " << seed << " (" << fault->note
+          << "): " << lint_sink.summary();
+    }
+  }
+  EXPECT_TRUE(applied) << "demote-to-wrong-layer applied to no fixture/seed";
 }
 
 TEST(FaultMatrix, EveryTextOperatorTriggersItsDeclaredCode) {
