@@ -24,7 +24,8 @@ void print_tables() {
     Orthogonal2Layer o = layout::layout_butterfly(k);
     const std::uint64_t N = o.graph.num_nodes();
     for (std::uint32_t L : {2u, 4u, 8u}) {
-      const bench::Measured m = bench::measure(o, L, /*verify=*/N <= 512);
+      const bench::Measured m = bench::measure(
+          o, L, /*verify=*/N <= 512, /*pack_extras=*/true, "butterfly");
       const double pa = formulas::butterfly_area(N, L);
       const double pw = formulas::butterfly_max_wire(N, L);
       t.begin_row().cell(std::uint64_t(k)).cell(N).cell(std::uint64_t(L))

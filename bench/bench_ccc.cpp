@@ -23,7 +23,8 @@ void print_tables() {
     Orthogonal2Layer o = layout::layout_ccc(n);
     const std::uint64_t N = o.graph.num_nodes();
     for (std::uint32_t L : {2u, 4u, 8u}) {
-      const bench::Measured m = bench::measure(o, L, /*verify=*/N <= 512);
+      const bench::Measured m = bench::measure(o, L, /*verify=*/N <= 512,
+                                               /*pack_extras=*/true, "ccc");
       const double pa = formulas::ccc_area(N, L);
       t.begin_row().cell("CCC").cell(std::uint64_t(n)).cell(N)
           .cell(std::uint64_t(L)).cell(pa, 0)
@@ -35,7 +36,8 @@ void print_tables() {
     Orthogonal2Layer o = layout::layout_reduced_hypercube(n);
     const std::uint64_t N = o.graph.num_nodes();
     for (std::uint32_t L : {2u, 4u}) {
-      const bench::Measured m = bench::measure(o, L, /*verify=*/N <= 512);
+      const bench::Measured m = bench::measure(o, L, /*verify=*/N <= 512,
+                                               /*pack_extras=*/true, "rh");
       const double pa = formulas::ccc_area(N, L);
       t.begin_row().cell("RH").cell(std::uint64_t(n)).cell(N)
           .cell(std::uint64_t(L)).cell(pa, 0)

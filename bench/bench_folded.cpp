@@ -24,7 +24,8 @@ void print_tables() {
     for (std::uint32_t L : {2u, 4u}) {
       const bool verify = N <= 256;
       const bench::Measured res = bench::measure(fh, L, verify, /*pack=*/false);
-      const bench::Measured pk = bench::measure(fh, L, verify, /*pack=*/true);
+      const bench::Measured pk =
+          bench::measure(fh, L, verify, /*pack=*/true, "folded");
       const double pa = formulas::folded_hypercube_area(N, L);
       t.begin_row().cell("folded-HC").cell(std::uint64_t(n)).cell(N)
           .cell(std::uint64_t(L)).cell(pa, 0)

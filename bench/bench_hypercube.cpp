@@ -24,7 +24,8 @@ void print_tables() {
       // Full geometric verification is quadratic in wires; skip it for the
       // largest instance to keep the bench quick (it is covered by tests).
       const bool verify = N <= 512;
-      const bench::Measured m = bench::measure(o, L, verify);
+      const bench::Measured m =
+          bench::measure(o, L, verify, /*pack_extras=*/true, "hypercube");
       const double pa = formulas::hypercube_area(N, L);
       const double pw = formulas::hypercube_max_wire(N, L);
       t.begin_row().cell(std::uint64_t(n)).cell(N).cell(std::uint64_t(L))

@@ -1,13 +1,29 @@
 // Shared helpers for the reproduction benches: realize + verify + measure,
-// and consistent paper-vs-measured table emission.
+// consistent paper-vs-measured table emission, and the machine-readable
+// baseline recorder.
+//
+// Every `measure()` call that names a family contributes one record to
+// `BENCH_mlvl.json` ({family, L, nodes, wall_ms, area, wiring_area, volume,
+// max_wire, vias}). The file is merge-on-write — each bench binary updates
+// its own families and preserves the rest — so running the whole suite
+// produces one consolidated baseline for CI to archive and diff.
+// `MLVL_BENCH_JSON` overrides the output path (default: ./BENCH_mlvl.json).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
 
 #include "analysis/report.hpp"
 #include "core/checker.hpp"
+#include "core/io.hpp"
 #include "core/metrics.hpp"
 #include "core/multilayer.hpp"
 #include "core/orthogonal.hpp"
@@ -19,19 +35,142 @@ struct Measured {
   LayoutMetrics metrics;
 };
 
+/// One consolidated-baseline row: the paper's cost quantities for one
+/// (family, L, N) point plus the wall time of realize + compute_metrics
+/// (verification is excluded — it is quadratic and not part of the layout
+/// algorithm being baselined).
+struct BenchRecord {
+  std::string family;
+  std::uint32_t L = 0;
+  std::uint64_t nodes = 0;
+  double wall_ms = 0;
+  std::uint64_t area = 0;
+  std::uint64_t wiring_area = 0;
+  std::uint64_t volume = 0;
+  std::uint64_t max_wire = 0;
+  std::uint64_t vias = 0;
+};
+
+/// Collects BenchRecords for this process and writes BENCH_mlvl.json at
+/// exit. Merge-on-write: records already in the file are preserved unless
+/// this run re-measured the same (family, L, nodes) point.
+class BenchRecorder {
+ public:
+  static BenchRecorder& instance() {
+    static BenchRecorder r;
+    return r;
+  }
+
+  static std::string path() {
+    const char* env = std::getenv("MLVL_BENCH_JSON");
+    return env != nullptr && *env != '\0' ? env : "BENCH_mlvl.json";
+  }
+
+  void add(BenchRecord rec) {
+    Key k{rec.family, rec.L, rec.nodes};
+    records_[std::move(k)] = std::move(rec);
+    dirty_ = true;
+  }
+
+  /// Merge with any existing file and write. Returns false on I/O failure.
+  bool write() {
+    dirty_ = false;
+    std::map<Key, BenchRecord> merged;
+    if (std::optional<io::JsonValue> old = io::load_json(path())) {
+      if (const io::JsonValue* recs = old->find("records");
+          recs != nullptr && recs->kind == io::JsonValue::Kind::kArray) {
+        for (const io::JsonValue& item : recs->items) {
+          BenchRecord r;
+          if (!from_json(item, r)) continue;
+          merged[Key{r.family, r.L, r.nodes}] = std::move(r);
+        }
+      }
+    }
+    for (const auto& [k, r] : records_) merged[k] = r;
+
+    std::ofstream os(path());
+    if (!os) return false;
+    os << "{\n  \"schema\": \"mlvl-bench-v1\",\n  \"records\": [";
+    bool first = true;
+    for (const auto& [k, r] : merged) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    {\"family\": \"" << r.family << "\", \"L\": " << r.L
+         << ", \"nodes\": " << r.nodes << ", \"wall_ms\": " << r.wall_ms
+         << ", \"area\": " << r.area << ", \"wiring_area\": " << r.wiring_area
+         << ", \"volume\": " << r.volume << ", \"max_wire\": " << r.max_wire
+         << ", \"vias\": " << r.vias << "}";
+    }
+    os << "\n  ]\n}\n";
+    return bool(os);
+  }
+
+  ~BenchRecorder() {
+    if (dirty_ && !write())
+      std::cerr << "bench: failed to write " << path() << "\n";
+  }
+
+ private:
+  using Key = std::tuple<std::string, std::uint32_t, std::uint64_t>;
+
+  BenchRecorder() = default;
+
+  static bool from_json(const io::JsonValue& v, BenchRecord& r) {
+    if (v.kind != io::JsonValue::Kind::kObject) return false;
+    const io::JsonValue* f = v.find("family");
+    if (f == nullptr || f->kind != io::JsonValue::Kind::kString) return false;
+    r.family = f->str;
+    auto num = [&v](const char* name, double fallback = 0) {
+      const io::JsonValue* n = v.find(name);
+      return n != nullptr && n->kind == io::JsonValue::Kind::kNumber ? n->number
+                                                                     : fallback;
+    };
+    r.L = static_cast<std::uint32_t>(num("L"));
+    r.nodes = static_cast<std::uint64_t>(num("nodes"));
+    r.wall_ms = num("wall_ms");
+    r.area = static_cast<std::uint64_t>(num("area"));
+    r.wiring_area = static_cast<std::uint64_t>(num("wiring_area"));
+    r.volume = static_cast<std::uint64_t>(num("volume"));
+    r.max_wire = static_cast<std::uint64_t>(num("max_wire"));
+    r.vias = static_cast<std::uint64_t>(num("vias"));
+    return true;
+  }
+
+  std::map<Key, BenchRecord> records_;
+  bool dirty_ = false;
+};
+
 /// Realize at L layers, verify the geometry, and compute metrics. Throws if
 /// the checker rejects the layout — a bench must never report numbers from
-/// invalid geometry.
+/// invalid geometry. When `family` is non-null the timed result is also
+/// recorded into the consolidated BENCH_mlvl.json baseline.
 inline Measured measure(const Orthogonal2Layer& o, std::uint32_t L,
-                        bool verify = true, bool pack_extras = true) {
+                        bool verify = true, bool pack_extras = true,
+                        const char* family = nullptr) {
   Measured r;
+  const auto t0 = std::chrono::steady_clock::now();
   r.ml = realize(o, RealizeOptions{.L = L, .node_size = 0,
                                    .pack_extras = pack_extras});
+  r.metrics = compute_metrics(r.ml, o.graph);
+  const auto t1 = std::chrono::steady_clock::now();
   if (verify) {
     CheckResult res = check_layout(o.graph, r.ml);
     if (!res.ok) throw std::runtime_error("bench: invalid layout: " + res.error);
   }
-  r.metrics = compute_metrics(r.ml, o.graph);
+  if (family != nullptr) {
+    BenchRecord rec;
+    rec.family = family;
+    rec.L = L;
+    rec.nodes = o.graph.num_nodes();
+    rec.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rec.area = r.metrics.area;
+    rec.wiring_area = r.metrics.wiring_area;
+    rec.volume = r.metrics.volume;
+    rec.max_wire = r.metrics.max_wire_length;
+    rec.vias = r.metrics.via_count;
+    BenchRecorder::instance().add(std::move(rec));
+  }
   return r;
 }
 

@@ -3,31 +3,52 @@
 // 3.2 result live: cluster nodes are "free" until c approaches k^{n/2-1}, and
 // node boxes can grow to o(Area/N) without moving the wiring-dominated cost.
 //
-//   $ example_chip_planner [k] [n] [L]
+//   $ example_chip_planner [k] [n] [L] [--trace file] [--metrics file]
 //
 // exit codes: 0 all layouts valid, 1 checker failure or runtime error,
 // 3 bad arguments.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <new>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "analysis/report.hpp"
 #include "core/checker.hpp"
 #include "core/metrics.hpp"
 #include "layout/cluster_layout.hpp"
 #include "layout/kary_layout.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
 int run(int argc, char** argv) {
   using namespace mlvl;
+  std::string trace_path, metrics_path;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    else if (a == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
+    else if (!a.empty() && a[0] == '-') return 3;
+    else pos.push_back(a);
+  }
   // Defaults sit inside the paper's "clusters are free" regime: the Sec. 3.2
   // threshold is c = o(k^{n/2-1}), so n must be large enough for the
   // quotient wiring to dominate (n = 2 leaves no room at all).
-  const std::uint32_t k = argc > 1 ? std::atoi(argv[1]) : 4;
-  const std::uint32_t n = argc > 2 ? std::atoi(argv[2]) : 4;
-  const std::uint32_t L = argc > 3 ? std::atoi(argv[3]) : 8;
+  const std::uint32_t k = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 4;
+  const std::uint32_t n = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 4;
+  const std::uint32_t L = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 8;
+
+  obs::TraceSession trace;
+  obs::MetricsRegistry registry;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    trace.install();
+    registry.install();
+  }
 
   std::cout << "k-ary n-cube cluster-c planner: k=" << k << " n=" << n
             << " L=" << L << "\n\n";
@@ -68,6 +89,27 @@ int run(int argc, char** argv) {
   s.print(std::cout);
   std::cout << "\nwiring_area never moves: processor area is free until it "
                "rivals the wiring term (Sec. 3.2's optimal scalability).\n";
+
+  obs::TraceSession::uninstall();
+  obs::MetricsRegistry::uninstall();
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (os) trace.write_chrome_trace(os);
+    if (!os) {
+      std::cerr << "failed to write " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote trace " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (os) registry.write_json(os);
+    if (!os) {
+      std::cerr << "failed to write " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote metrics " << metrics_path << "\n";
+  }
   return 0;
 }
 

@@ -3,11 +3,12 @@
 // area / volume / max wire — the decision a chip architect would make with
 // this library.
 //
-//   $ example_design_explorer [L]
+//   $ example_design_explorer [L] [--trace file] [--metrics file]
 //
 // exit codes: 0 all layouts valid, 1 checker failure or runtime error,
 // 3 bad arguments.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <new>
 #include <stdexcept>
@@ -17,6 +18,8 @@
 #include "analysis/report.hpp"
 #include "core/checker.hpp"
 #include "core/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "layout/butterfly_layout.hpp"
 #include "layout/ccc_layout.hpp"
 #include "layout/folded_hc_layout.hpp"
@@ -30,7 +33,23 @@ namespace {
 
 int run(int argc, char** argv) {
   using namespace mlvl;
-  const std::uint32_t L = argc > 1 ? std::atoi(argv[1]) : 8;
+  std::string trace_path, metrics_path;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    else if (a == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
+    else if (!a.empty() && a[0] == '-') return 3;
+    else pos.push_back(a);
+  }
+  const std::uint32_t L = !pos.empty() ? std::atoi(pos[0].c_str()) : 8;
+
+  obs::TraceSession trace;
+  obs::MetricsRegistry registry;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    trace.install();
+    registry.install();
+  }
 
   struct Candidate {
     std::string name;
@@ -72,6 +91,27 @@ int run(int argc, char** argv) {
   std::cout << "\narea/N^2 normalizes families of different sizes; lower is "
                "denser. Low-degree networks (CCC) trade diameter for area "
                "exactly as the paper's Sec. 5.2 predicts.\n";
+
+  obs::TraceSession::uninstall();
+  obs::MetricsRegistry::uninstall();
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (os) trace.write_chrome_trace(os);
+    if (!os) {
+      std::cerr << "failed to write " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote trace " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (os) registry.write_json(os);
+    if (!os) {
+      std::cerr << "failed to write " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote metrics " << metrics_path << "\n";
+  }
   return 0;
 }
 

@@ -1,34 +1,13 @@
 // layout_tool — command-line front end for the whole pipeline: build a
 // network, lay it out for L layers, verify, and report/export. Also the
 // doctor: load a saved layout, collect every violation with exact
-// coordinates, and optionally rip-up/re-route the implicated edges.
+// coordinates, and optionally rip-up/re-route the implicated edges. And the
+// profiler: --trace/--metrics record every pipeline phase (topology,
+// placement, interval, routing, fold, check, lint, repair) as Chrome
+// trace-event JSON and a metrics registry dump, without touching stdout.
 //
-//   example_layout_tool <network> [options]
-//   example_layout_tool --doctor <file> [-repair] [-save file] [-transparent]
-//   example_layout_tool --lint <file> [-strict] [-baseline file]
-//                       [-save-baseline file] [-disable rule] [-transparent]
-//
-// networks:
-//   hypercube <n> | kary <k> <n> | mesh <k> <n> | ghc <r> <n>
-//   folded <n> | enhanced <n> <seed> | ccc <n> | rh <n>
-//   hsn <levels> <r> | hhn <levels> <m> | isn <levels> <r>
-//   butterfly <k> | star <n> | cluster <k> <n> <c>
-// options:
-//   -L <layers>      wiring layers (default 4)
-//   -svg <file>      write an SVG rendering
-//   -save <file>     export graph+geometry in the mlvl text format
-//   -congestion      print the per-layer utilization report
-//   -nocheck         skip geometric verification (for very large instances)
-// doctor options:
-//   -repair          rip up implicated edges and re-route through free cells
-//   -save <file>     write the (repaired) layout back out
-//   -transparent     verify under the stacked-via rule instead of blocking
-// lint options:
-//   -strict              exit 1 when any unsuppressed warning remains
-//   -baseline <file>     suppress the finding fingerprints listed in file
-//   -save-baseline <f>   write the current findings as a baseline and exit 0
-//   -disable <rule-id>   turn one rule off (repeatable)
-//   -transparent         lint under the stacked-via rule instead of blocking
+// See examples/layout_tool_usage.hpp for the full usage block (asserted
+// current by tests/test_obs.cpp).
 //
 // exit codes: 0 layout valid (or repaired clean, or lint clean), 1 layout
 // invalid / lint error / -strict warnings, 2 input file missing or
@@ -37,6 +16,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <new>
 #include <stdexcept>
 #include <string>
@@ -46,6 +26,7 @@
 #include "analysis/report.hpp"
 #include "analysis/routing.hpp"
 #include "core/checker.hpp"
+#include "core/fold.hpp"
 #include "core/io.hpp"
 #include "core/metrics.hpp"
 #include "core/svg.hpp"
@@ -59,6 +40,9 @@
 #include "layout/hypercube_layout.hpp"
 #include "layout/isn_layout.hpp"
 #include "layout/kary_layout.hpp"
+#include "layout_tool_usage.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "robustness/repair.hpp"
 #include "topology/ring.hpp"
 
@@ -71,21 +55,48 @@ constexpr int kExitInvalid = 1;
 constexpr int kExitParseError = 2;
 constexpr int kExitUsage = 3;
 
+/// Flags shared by every mode: observability outputs and verbosity.
+/// Verbosity: 0 = --quiet (errors only), 1 = default, 2 = phase summary,
+/// 3 = per-span debug dump.
+struct CommonOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  int verbosity = 1;
+
+  [[nodiscard]] bool obs_enabled() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+  [[nodiscard]] bool loud(int level = 1) const { return verbosity >= level; }
+};
+
 int usage() {
-  std::cerr << "usage: example_layout_tool <network> [args...] [-L layers] "
-               "[-svg file] [-save file] [-congestion] [-nocheck]\n"
-               "       example_layout_tool --doctor <file> [-repair] "
-               "[-save file] [-transparent]\n"
-               "       example_layout_tool --lint <file> [-strict] "
-               "[-baseline file]\n"
-               "                           [-save-baseline file] "
-               "[-disable rule] [-transparent]\n"
-               "networks: hypercube n | kary k n | mesh k n | ghc r n |\n"
-               "          folded n | enhanced n seed | ccc n | rh n |\n"
-               "          hsn levels r | hhn levels m | isn levels r |\n"
-               "          butterfly k | star n | cluster k n c\n"
-               "exit codes: 0 valid, 1 invalid, 2 parse error, 3 usage\n";
+  std::cerr << tool::kLayoutToolUsage;
   return kExitUsage;
+}
+
+/// Pull --trace/--metrics/--quiet/-q/-v out of `args` (any position, any
+/// mode) so the per-mode parsers only see their own flags. Returns false on
+/// a malformed common flag (missing file argument).
+bool extract_common(std::vector<std::string>& args, CommonOptions& opt) {
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--trace") {
+      if (i + 1 >= args.size()) return false;
+      opt.trace_path = args[++i];
+    } else if (args[i] == "--metrics") {
+      if (i + 1 >= args.size()) return false;
+      opt.metrics_path = args[++i];
+    } else if (args[i] == "--quiet" || args[i] == "-q") {
+      opt.verbosity = 0;
+    } else if (args[i] == "-v") {
+      if (opt.verbosity < 1) opt.verbosity = 1;
+      if (opt.verbosity < 3) ++opt.verbosity;
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  return true;
 }
 
 void print_diagnostics(const DiagnosticSink& sink) {
@@ -103,7 +114,87 @@ void print_diagnostics(const DiagnosticSink& sink) {
   std::cout << "summary: " << sink.summary() << "\n";
 }
 
-int run_doctor(const std::vector<std::string>& args) {
+/// Totals line for doctor/lint: full counts survive sink capacity.
+void print_totals(const DiagnosticSink& sink) {
+  std::cout << "totals: " << sink.total_errors() << " error(s), "
+            << sink.total_warnings() << " warning(s) reported";
+  if (sink.evicted() != 0)
+    std::cout << ", " << sink.evicted() << " warning(s) evicted at capacity";
+  std::cout << "\n";
+}
+
+/// Publish sink totals to the metrics registry under a mode prefix, e.g.
+/// doctor.errors / doctor.warnings / doctor.evicted.
+void publish_sink_totals(const std::string& prefix,
+                         const DiagnosticSink& sink) {
+  obs::gauge_set(prefix + ".errors", static_cast<double>(sink.total_errors()));
+  obs::gauge_set(prefix + ".warnings",
+                 static_cast<double>(sink.total_warnings()));
+  obs::gauge_set(prefix + ".evicted", static_cast<double>(sink.evicted()));
+}
+
+/// Per-span wall-time summary (verbosity >= 2) and raw dump (>= 3).
+void print_phase_summary(const obs::TraceSession& trace, int verbosity) {
+  const std::vector<obs::TraceEvent> events = trace.events();
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> by_name;
+  for (const obs::TraceEvent& ev : events) {
+    auto& [count, total_us] = by_name[ev.name];
+    ++count;
+    total_us += ev.dur_us;
+  }
+  std::cout << "\npipeline phases (" << events.size() << " span(s)):\n";
+  analysis::Table t({"phase", "spans", "total_ms"});
+  for (const auto& [name, agg] : by_name)
+    t.begin_row().cell(name).cell(std::uint64_t(agg.first))
+        .cell(double(agg.second) / 1000.0, 3);
+  t.print(std::cout);
+  if (verbosity >= 3) {
+    for (const obs::TraceEvent& ev : events)
+      std::cout << "  span " << ev.name << " tid=" << ev.tid
+                << " depth=" << ev.depth << " ts=" << ev.ts_us
+                << "us dur=" << ev.dur_us << "us\n";
+  }
+}
+
+/// Write the trace / metrics files. Returns false on I/O failure. CSV is
+/// chosen by file extension; everything else gets JSON.
+bool flush_obs(const CommonOptions& opt, const obs::TraceSession& trace,
+               const obs::MetricsRegistry& registry) {
+  bool ok = true;
+  if (!opt.trace_path.empty()) {
+    std::ofstream os(opt.trace_path);
+    if (os) trace.write_chrome_trace(os);
+    if (!os) {
+      std::cerr << "failed to write " << opt.trace_path << "\n";
+      ok = false;
+    } else if (opt.loud()) {
+      std::cout << "wrote trace " << opt.trace_path << " (" << trace.size()
+                << " span(s))\n";
+    }
+  }
+  if (!opt.metrics_path.empty()) {
+    const bool csv = opt.metrics_path.size() >= 4 &&
+                     opt.metrics_path.compare(opt.metrics_path.size() - 4, 4,
+                                              ".csv") == 0;
+    std::ofstream os(opt.metrics_path);
+    if (os) {
+      if (csv)
+        registry.write_csv(os);
+      else
+        registry.write_json(os);
+    }
+    if (!os) {
+      std::cerr << "failed to write " << opt.metrics_path << "\n";
+      ok = false;
+    } else if (opt.loud()) {
+      std::cout << "wrote metrics " << opt.metrics_path << "\n";
+    }
+  }
+  return ok;
+}
+
+int run_doctor(const std::vector<std::string>& args,
+               const CommonOptions& copt) {
   std::string file, save_path;
   bool do_repair = false;
   ViaRule rule = ViaRule::kBlocking;
@@ -125,51 +216,62 @@ int run_doctor(const std::vector<std::string>& args) {
   DiagnosticSink load_sink(64);
   auto loaded = io::load_layout(file, &load_sink);
   if (!loaded) {
-    std::cout << "doctor: cannot load " << file << "\n";
-    print_diagnostics(load_sink);
+    if (copt.loud()) {
+      std::cout << "doctor: cannot load " << file << "\n";
+      print_diagnostics(load_sink);
+    }
     return kExitParseError;
   }
 
   DiagnosticSink sink(256);
   const std::uint64_t points =
       check_layout_all(loaded->graph, loaded->geom, rule, sink);
+  publish_sink_totals("doctor", sink);
   if (sink.empty()) {
-    std::cout << "doctor: layout valid (" << points
-              << " occupied grid points)\n";
+    if (copt.loud())
+      std::cout << "doctor: layout valid (" << points
+                << " occupied grid points)\n";
     return kExitValid;
   }
-  std::cout << "doctor: layout INVALID, " << sink.size() << " violation(s)";
-  if (sink.dropped() != 0) std::cout << " (+" << sink.dropped() << " dropped)";
-  std::cout << ":\n";
-  print_diagnostics(sink);
+  if (copt.loud()) {
+    std::cout << "doctor: layout INVALID, " << sink.size() << " violation(s)";
+    if (sink.dropped() != 0)
+      std::cout << " (+" << sink.dropped() << " dropped)";
+    std::cout << ":\n";
+    print_diagnostics(sink);
+    if (copt.loud(2)) print_totals(sink);
+  }
   if (!do_repair) return kExitInvalid;
 
   robustness::RepairReport rep =
       robustness::repair_layout(loaded->graph, loaded->geom, {.rule = rule});
-  std::cout << "\nrepair: " << rep.ripped.size() << " edge(s) ripped, "
-            << rep.rerouted.size() << " re-routed, " << rep.failed.size()
-            << " unroutable, " << rep.unrepairable.size()
-            << " frame violation(s) unrepairable (" << rep.passes
-            << " pass(es))\n";
+  if (copt.loud())
+    std::cout << "\nrepair: " << rep.ripped.size() << " edge(s) ripped, "
+              << rep.rerouted.size() << " re-routed, " << rep.failed.size()
+              << " unroutable, " << rep.unrepairable.size()
+              << " frame violation(s) unrepairable (" << rep.passes
+              << " pass(es))\n";
   if (rep.ok) {
-    std::cout << "repair: layout now checker-clean\n";
+    if (copt.loud()) std::cout << "repair: layout now checker-clean\n";
     if (!save_path.empty()) {
       if (!io::save_layout(save_path, loaded->graph, loaded->geom)) {
         std::cerr << "failed to write " << save_path << "\n";
         return kExitInvalid;
       }
-      std::cout << "wrote " << save_path << "\n";
+      if (copt.loud()) std::cout << "wrote " << save_path << "\n";
     }
     return kExitValid;
   }
-  std::cout << "repair: layout still invalid:\n";
-  DiagnosticSink after(256);
-  for (const Diagnostic& d : rep.remaining) after.report(d);
-  print_diagnostics(after);
+  if (copt.loud()) {
+    std::cout << "repair: layout still invalid:\n";
+    DiagnosticSink after(256);
+    for (const Diagnostic& d : rep.remaining) after.report(d);
+    print_diagnostics(after);
+  }
   return kExitInvalid;
 }
 
-int run_lint(const std::vector<std::string>& args) {
+int run_lint(const std::vector<std::string>& args, const CommonOptions& copt) {
   std::string file, baseline_path, save_baseline_path;
   bool strict = false;
   analysis::LintConfig cfg;
@@ -200,14 +302,17 @@ int run_lint(const std::vector<std::string>& args) {
   DiagnosticSink load_sink(64);
   auto loaded = io::load_layout(file, &load_sink);
   if (!loaded) {
-    std::cout << "lint: cannot load " << file << "\n";
-    print_diagnostics(load_sink);
+    if (copt.loud()) {
+      std::cout << "lint: cannot load " << file << "\n";
+      print_diagnostics(load_sink);
+    }
     return kExitParseError;
   }
   if (!baseline_path.empty()) {
     auto base = analysis::LintBaseline::load(baseline_path);
     if (!base) {
-      std::cout << "lint: cannot load baseline " << baseline_path << "\n";
+      if (copt.loud())
+        std::cout << "lint: cannot load baseline " << baseline_path << "\n";
       return kExitParseError;
     }
     cfg.baseline = std::move(*base);
@@ -216,6 +321,7 @@ int run_lint(const std::vector<std::string>& args) {
   DiagnosticSink sink(1024);
   analysis::LintStats stats =
       analysis::lint_layout(loaded->graph, loaded->geom, cfg, sink);
+  publish_sink_totals("lint", sink);
 
   if (!save_baseline_path.empty()) {
     analysis::LintBaseline out = cfg.baseline;
@@ -227,37 +333,38 @@ int run_lint(const std::vector<std::string>& args) {
       return kExitInvalid;
     }
     out.write(os);
-    std::cout << "lint: wrote baseline with " << out.size() << " entries to "
-              << save_baseline_path << "\n";
+    if (copt.loud())
+      std::cout << "lint: wrote baseline with " << out.size()
+                << " entries to " << save_baseline_path << "\n";
     return kExitValid;
   }
 
   if (stats.clean()) {
-    std::cout << "lint: clean";
-    if (stats.suppressed != 0)
-      std::cout << " (" << stats.suppressed << " finding(s) suppressed by "
-                << "baseline)";
-    std::cout << "\n";
+    if (copt.loud()) {
+      std::cout << "lint: clean";
+      if (stats.suppressed != 0)
+        std::cout << " (" << stats.suppressed << " finding(s) suppressed by "
+                  << "baseline)";
+      std::cout << "\n";
+    }
     return kExitValid;
   }
-  std::cout << "lint: " << stats.reported << " finding(s)";
-  if (stats.suppressed != 0)
-    std::cout << ", " << stats.suppressed << " suppressed";
-  if (sink.dropped() != 0) std::cout << " (+" << sink.dropped() << " dropped)";
-  std::cout << ":\n";
-  print_diagnostics(sink);
+  if (copt.loud()) {
+    std::cout << "lint: " << stats.reported << " finding(s)";
+    if (stats.suppressed != 0)
+      std::cout << ", " << stats.suppressed << " suppressed";
+    if (sink.dropped() != 0)
+      std::cout << " (+" << sink.dropped() << " dropped)";
+    std::cout << ":\n";
+    print_diagnostics(sink);
+    if (copt.loud(2)) print_totals(sink);
+  }
   if (sink.errors() != 0) return kExitInvalid;
   return strict ? kExitInvalid : kExitValid;
 }
 
-int run(int argc, char** argv) {
-  if (argc < 2) return usage();
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (args[0] == "--doctor")
-    return run_doctor({args.begin() + 1, args.end()});
-  if (args[0] == "--lint")
-    return run_lint({args.begin() + 1, args.end()});
-
+int run_layout(const std::vector<std::string>& args,
+               const CommonOptions& copt) {
   std::uint32_t L = 4;
   std::string svg_path, save_path;
   bool congestion = false, check = true;
@@ -312,57 +419,122 @@ int run(int argc, char** argv) {
       std::cerr << "checker FAILED: " << res.error << "\n";
       return kExitInvalid;
     }
-    std::cout << "checker ok (" << res.points << " occupied grid points, "
-              << (ml.required_rule == ViaRule::kBlocking ? "strict grid model"
-                                                         : "stacked-via rule")
-              << ")\n";
+    if (copt.loud())
+      std::cout << "checker ok (" << res.points << " occupied grid points, "
+                << (ml.required_rule == ViaRule::kBlocking
+                        ? "strict grid model"
+                        : "stacked-via rule")
+                << ")\n";
+  }
+
+  if (copt.obs_enabled()) {
+    // Profiled pipeline extras: the fold baseline the paper compares against
+    // and a lint pass, so the trace records every phase and the registry the
+    // full cost picture. The 2-layer baseline metrics are computed with the
+    // registry uninstalled so its gauges do not clobber the real run's.
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::current();
+    obs::MetricsRegistry::uninstall();
+    LayoutMetrics m2 = compute_metrics(realize(ortho, {.L = 2}), ortho.graph);
+    if (registry != nullptr) registry->install();
+    const BaselineMetrics folded = fold_thompson(m2, L);
+    obs::gauge_set("fold.baseline_area", static_cast<double>(folded.area));
+    obs::gauge_set("fold.baseline_volume", static_cast<double>(folded.volume));
+    obs::gauge_set("fold.baseline_max_wire",
+                   static_cast<double>(folded.max_wire_length));
+
+    analysis::LintConfig lint_cfg;
+    lint_cfg.via_rule = ml.required_rule;
+    DiagnosticSink lint_sink(1024);
+    analysis::LintStats lint_stats =
+        analysis::lint_layout(ortho.graph, ml.geom, lint_cfg, lint_sink);
+    publish_sink_totals("lint", lint_sink);
+    if (copt.loud(2))
+      std::cout << "lint: " << lint_stats.reported << " finding(s), "
+                << lint_stats.suppressed << " suppressed\n";
   }
 
   LayoutMetrics m = compute_metrics(ml, ortho.graph);
-  analysis::Table t({"nodes", "edges", "L", "width", "height", "area",
-                     "track_area", "volume", "max_wire", "vias"});
-  t.begin_row().cell(std::uint64_t(ortho.graph.num_nodes()))
-      .cell(std::uint64_t(ortho.graph.num_edges())).cell(std::uint64_t(L))
-      .cell(std::uint64_t(m.width)).cell(std::uint64_t(m.height)).cell(m.area)
-      .cell(m.wiring_area).cell(m.volume)
-      .cell(std::uint64_t(m.max_wire_length)).cell(m.via_count);
-  t.print(std::cout);
+  if (copt.loud()) {
+    analysis::Table t({"nodes", "edges", "L", "width", "height", "area",
+                       "track_area", "volume", "max_wire", "vias"});
+    t.begin_row().cell(std::uint64_t(ortho.graph.num_nodes()))
+        .cell(std::uint64_t(ortho.graph.num_edges())).cell(std::uint64_t(L))
+        .cell(std::uint64_t(m.width)).cell(std::uint64_t(m.height)).cell(m.area)
+        .cell(m.wiring_area).cell(m.volume)
+        .cell(std::uint64_t(m.max_wire_length)).cell(m.via_count);
+    t.print(std::cout);
+  }
 
   if (congestion) {
     analysis::CongestionReport rep =
         analysis::analyze_congestion(ortho.graph, ml.geom);
-    analysis::Table c({"layer", "wire_length", "segments"});
-    for (const auto& u : rep.layers)
-      c.begin_row().cell(std::uint64_t(u.layer)).cell(u.wire_length)
-          .cell(std::uint64_t(u.segments));
-    std::cout << "\nper-layer utilization (balance "
-              << rep.balance << ", max via span " << rep.max_via_span
-              << "):\n";
-    c.print(std::cout);
-    std::cout << "edge length percentiles: p50=" << rep.p50
-              << " p90=" << rep.p90 << " p99=" << rep.p99 << " max=" << rep.max
-              << "\n";
+    if (copt.loud()) {
+      analysis::Table c({"layer", "wire_length", "segments"});
+      for (const auto& u : rep.layers)
+        c.begin_row().cell(std::uint64_t(u.layer)).cell(u.wire_length)
+            .cell(std::uint64_t(u.segments));
+      std::cout << "\nper-layer utilization (balance "
+                << rep.balance << ", max via span " << rep.max_via_span
+                << "):\n";
+      c.print(std::cout);
+      std::cout << "edge length percentiles: p50=" << rep.p50
+                << " p90=" << rep.p90 << " p99=" << rep.p99
+                << " max=" << rep.max << "\n";
+    }
     analysis::TrafficStats tr =
         analysis::edge_traffic(ortho.graph, m.edge_length);
-    std::cout << "channel load under shortest-wire routing: max="
-              << tr.max_load << " mean=" << tr.mean_load
-              << (tr.exact ? " (all pairs)" : " (sampled)") << "\n";
+    if (copt.loud())
+      std::cout << "channel load under shortest-wire routing: max="
+                << tr.max_load << " mean=" << tr.mean_load
+                << (tr.exact ? " (all pairs)" : " (sampled)") << "\n";
   }
   if (!svg_path.empty()) {
     if (!write_svg(ml.geom, svg_path)) {
       std::cerr << "failed to write " << svg_path << "\n";
       return kExitInvalid;
     }
-    std::cout << "wrote " << svg_path << "\n";
+    if (copt.loud()) std::cout << "wrote " << svg_path << "\n";
   }
   if (!save_path.empty()) {
     if (!io::save_layout(save_path, ortho.graph, ml.geom)) {
       std::cerr << "failed to write " << save_path << "\n";
       return kExitInvalid;
     }
-    std::cout << "wrote " << save_path << "\n";
+    if (copt.loud()) std::cout << "wrote " << save_path << "\n";
   }
   return kExitValid;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  CommonOptions copt;
+  if (!extract_common(args, copt)) return usage();
+  if (args.empty()) return usage();
+
+  obs::TraceSession trace;
+  obs::MetricsRegistry registry;
+  if (copt.obs_enabled()) {
+    trace.install();
+    registry.install();
+  }
+
+  int rc;
+  if (args[0] == "--doctor")
+    rc = run_doctor({args.begin() + 1, args.end()}, copt);
+  else if (args[0] == "--lint")
+    rc = run_lint({args.begin() + 1, args.end()}, copt);
+  else
+    rc = run_layout(args, copt);
+
+  if (copt.obs_enabled()) {
+    obs::TraceSession::uninstall();
+    obs::MetricsRegistry::uninstall();
+    if (copt.loud(2)) print_phase_summary(trace, copt.verbosity);
+    if (!flush_obs(copt, trace, registry) && rc == kExitValid)
+      rc = kExitInvalid;
+  }
+  return rc;
 }
 
 }  // namespace

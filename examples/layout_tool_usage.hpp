@@ -1,0 +1,40 @@
+// The layout_tool usage block, factored into a header so tests/test_obs.cpp
+// can assert it stays current (correct tool name, every flag family listed).
+#pragma once
+
+namespace mlvl::tool {
+
+inline constexpr const char kLayoutToolUsage[] =
+    R"(usage: layout_tool <network> [args...] [options]
+       layout_tool --doctor <file> [-repair] [-save file] [-transparent]
+       layout_tool --lint <file> [-strict] [-baseline file]
+                   [-save-baseline file] [-disable rule] [-transparent]
+networks: hypercube n | kary k n | mesh k n | ghc r n |
+          folded n | enhanced n seed | ccc n | rh n |
+          hsn levels r | hhn levels m | isn levels r |
+          butterfly k | star n | cluster k n c
+options:
+  -L <layers>       wiring layers (default 4)
+  -svg <file>       write an SVG rendering
+  -save <file>      export graph+geometry in the mlvl text format
+  -congestion       print the per-layer utilization report
+  -nocheck          skip geometric verification (for very large instances)
+observability (all modes):
+  --trace <file>    write a Chrome trace-event JSON of every pipeline phase
+  --metrics <file>  write the metrics registry (.csv extension -> CSV, else JSON)
+  --quiet | -q      errors only (exit code still reports validity)
+  -v                more detail (repeatable: -v phase summary, -v -v debug)
+doctor options:
+  -repair           rip up implicated edges and re-route through free cells
+  -save <file>      write the (repaired) layout back out
+  -transparent      verify under the stacked-via rule instead of blocking
+lint options:
+  -strict           exit 1 when any unsuppressed warning remains
+  -baseline <file>  suppress the finding fingerprints listed in file
+  -save-baseline <f> write the current findings as a baseline and exit 0
+  -disable <rule-id> turn one rule off (repeatable)
+  -transparent      lint under the stacked-via rule instead of blocking
+exit codes: 0 valid, 1 invalid, 2 parse error, 3 usage
+)";
+
+}  // namespace mlvl::tool

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace mlvl::analysis {
 
 CongestionReport analyze_congestion(const Graph& g,
                                     const LayoutGeometry& geom) {
+  obs::Span span("congestion");
   CongestionReport rep;
   rep.layers.resize(geom.num_layers);
   for (std::uint16_t l = 0; l < geom.num_layers; ++l)

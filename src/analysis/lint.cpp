@@ -7,6 +7,9 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mlvl::analysis {
 namespace {
 
@@ -108,6 +111,7 @@ void LintBaseline::write(std::ostream& os) const {
 
 LintStats lint_layout(const Graph& g, const LayoutGeometry& geom,
                       const LintConfig& cfg, DiagnosticSink& sink) {
+  obs::Span span("lint");
   LintStats stats;
   for (const LintRuleInfo& info : kRegistry) {
     const std::size_t idx = static_cast<std::size_t>(info.rule);
@@ -127,6 +131,8 @@ LintStats lint_layout(const Graph& g, const LayoutGeometry& geom,
     };
     detail::run_lint_rule(info.rule, g, geom, cfg, emit);
   }
+  obs::counter_add("lint.findings", stats.reported);
+  obs::counter_add("lint.suppressed", stats.suppressed);
   return stats;
 }
 

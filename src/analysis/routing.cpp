@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace mlvl::analysis {
 namespace {
 
@@ -79,6 +81,7 @@ TrafficStats edge_traffic(const Graph& g,
                           std::span<const std::uint32_t> edge_length,
                           NodeId exact_limit, std::uint32_t samples,
                           std::uint64_t seed) {
+  obs::Span span("traffic");
   if (edge_length.size() != g.num_edges())
     throw std::invalid_argument("edge_traffic: edge_length size mismatch");
   TrafficStats st;

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/gridkey.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mlvl {
 
@@ -16,6 +18,7 @@ using grid::kCoordMax;
 
 std::uint64_t check_layout_all(const Graph& g, const LayoutGeometry& geom,
                                ViaRule rule, DiagnosticSink& sink) {
+  obs::Span span("check");
   auto report = [&](Diagnostic d) { sink.report(std::move(d)); };
   auto at = [](std::uint64_t k, Diagnostic d) {
     d.has_point = true;
@@ -201,6 +204,7 @@ std::uint64_t check_layout_all(const Graph& g, const LayoutGeometry& geom,
   }
   occ.erase(std::unique(occ.begin(), occ.end()), occ.end());
   const std::uint64_t points = occ.size();
+  obs::gauge_max("grid.peak_occupancy", static_cast<double>(points));
 
   // ---- Wires on an active layer may only touch their endpoints' boxes. ----
   for (const auto& [k, e] : occ) {

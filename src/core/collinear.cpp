@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace mlvl {
 namespace {
 
@@ -85,6 +87,7 @@ std::vector<std::uint32_t> folded_digit_positions(std::uint32_t k) {
 }
 
 CollinearLayout collinear_greedy(const Graph& g, std::vector<NodeId> order) {
+  obs::Span span("collinear");
   if (order.size() != g.num_nodes())
     throw std::invalid_argument("collinear_greedy: order size mismatch");
   CollinearLayout lay;
@@ -338,6 +341,7 @@ std::uint64_t hypercube_track_formula(std::uint32_t n) {
 CollinearResult collinear_hypercube(std::uint32_t n) {
   if (n < 1 || n > 24)
     throw std::invalid_argument("collinear_hypercube: 1 <= n <= 24 required");
+  obs::Span span("collinear");
   const NodeId N = 1u << n;
   const std::uint32_t P = n / 2;         // number of 2-cube (pair) levels
   const bool odd = (n % 2) != 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/metrics.hpp"
+
 namespace mlvl {
 namespace {
 
@@ -197,6 +199,13 @@ std::string Diagnostic::to_string() const {
 }
 
 bool DiagnosticSink::report(Diagnostic d) {
+  if (d.severity == Severity::kError) {
+    ++total_errors_;
+    obs::counter_add("diag.errors");
+  } else {
+    ++total_warnings_;
+    obs::counter_add("diag.warnings");
+  }
   if (diags_.size() >= capacity_) {
     if (d.severity == Severity::kError) {
       // Evict the newest warning so errors are never crowded out.
@@ -206,6 +215,8 @@ bool DiagnosticSink::report(Diagnostic d) {
       if (it != diags_.rend()) {
         *it = std::move(d);
         ++dropped_;
+        ++evicted_;
+        obs::counter_add("diag.evicted");
         return true;
       }
     }

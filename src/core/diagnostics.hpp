@@ -125,9 +125,21 @@ class DiagnosticSink {
   [[nodiscard]] std::size_t errors() const;
   [[nodiscard]] std::size_t warnings() const;
 
+  /// Totals over everything ever reported, including diagnostics dropped or
+  /// evicted at capacity — the numbers doctor/lint runs print so a full sink
+  /// never under-reports. Also published to the obs MetricsRegistry (when
+  /// one is installed) as diag.errors / diag.warnings / diag.evicted.
+  [[nodiscard]] std::size_t total_errors() const { return total_errors_; }
+  [[nodiscard]] std::size_t total_warnings() const { return total_warnings_; }
+  /// Warnings evicted by a later error at capacity (a subset of dropped()).
+  [[nodiscard]] std::size_t evicted() const { return evicted_; }
+
   void clear() {
     diags_.clear();
     dropped_ = 0;
+    evicted_ = 0;
+    total_errors_ = 0;
+    total_warnings_ = 0;
   }
 
   /// Aggregate one-liner, e.g. "3x point-collision, 1x box-overlap (+12 more)".
@@ -137,6 +149,9 @@ class DiagnosticSink {
   std::vector<Diagnostic> diags_;
   std::size_t capacity_;
   std::size_t dropped_ = 0;
+  std::size_t evicted_ = 0;
+  std::size_t total_errors_ = 0;
+  std::size_t total_warnings_ = 0;
 };
 
 }  // namespace mlvl

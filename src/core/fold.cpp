@@ -2,9 +2,12 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace mlvl {
 
 BaselineMetrics fold_thompson(const LayoutMetrics& two_layer, std::uint32_t L) {
+  obs::Span span("fold");
   if (two_layer.layers != 2)
     throw std::invalid_argument("fold_thompson: input must be a 2-layer layout");
   if (L < 2) throw std::invalid_argument("fold_thompson: L >= 2 required");

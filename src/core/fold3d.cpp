@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mlvl {
 namespace {
 
@@ -16,6 +19,7 @@ struct Strip {
 }  // namespace
 
 Fold3dLayout fold_3d(const MultilayerLayout& ml, std::uint32_t slabs) {
+  obs::Span span("fold3d");
   const LayoutGeometry& in = ml.geom;
   if (slabs < 1) throw std::invalid_argument("fold_3d: slabs >= 1 required");
   Fold3dLayout out;

@@ -6,12 +6,16 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mlvl {
 
 TrackAssignment assign_tracks_left_edge(std::vector<Interval> intervals) {
   for (const Interval& iv : intervals)
     if (iv.lo >= iv.hi)
       throw std::invalid_argument("Interval: requires lo < hi");
+  obs::counter_add("interval.assignments");
+  obs::counter_add("interval.intervals", intervals.size());
 
   const std::size_t m = intervals.size();
   std::vector<std::uint32_t> order(m);
@@ -46,6 +50,7 @@ TrackAssignment assign_tracks_left_edge(std::vector<Interval> intervals) {
     out.track[idx] = t;
     busy.emplace(iv.hi, t);
   }
+  obs::counter_add("interval.tracks", out.num_tracks);
   return out;
 }
 

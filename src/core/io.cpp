@@ -296,4 +296,197 @@ std::optional<LoadedLayout> load_layout(const std::string& path,
   return parse_layout(in, sink);
 }
 
+// ---- JSON -----------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view cursor. Depth-bounded so
+/// adversarial nesting cannot overflow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  std::optional<JsonValue> parse() {
+    std::optional<JsonValue> v = value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> value(std::size_t depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos_ >= s_.size()) return std::nullopt;
+    JsonValue v;
+    switch (s_[pos_]) {
+      case 'n':
+        if (!literal("null")) return std::nullopt;
+        return v;
+      case 't':
+        if (!literal("true")) return std::nullopt;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!literal("false")) return std::nullopt;
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      case '"': return string_value();
+      case '[': return array_value(depth);
+      case '{': return object_value(depth);
+      default: return number_value();
+    }
+  }
+
+  std::optional<JsonValue> number_value() {
+    const char* begin = s_.data() + pos_;
+    const char* end = s_.data() + s_.size();
+    double out = 0;
+    auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc() || ptr == begin) return std::nullopt;
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = out;
+    return v;
+  }
+
+  std::optional<std::string> string_body() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return std::nullopt;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> string_value() {
+    std::optional<std::string> body = string_body();
+    if (!body) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    v.str = std::move(*body);
+    return v;
+  }
+
+  std::optional<JsonValue> array_value(std::size_t depth) {
+    ++pos_;  // '['
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (eat(']')) return v;
+    for (;;) {
+      std::optional<JsonValue> item = value(depth + 1);
+      if (!item) return std::nullopt;
+      v.items.push_back(std::move(*item));
+      skip_ws();
+      if (eat(']')) return v;
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> object_value(std::size_t depth) {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (eat('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::optional<std::string> key = string_body();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return std::nullopt;
+      std::optional<JsonValue> member = value(depth + 1);
+      if (!member) return std::nullopt;
+      v.members.emplace_back(std::move(*key), std::move(*member));
+      skip_ws();
+      if (eat('}')) return v;
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+std::optional<JsonValue> load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_json(buf.str());
+}
+
 }  // namespace mlvl::io

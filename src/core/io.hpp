@@ -23,6 +23,9 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/diagnostics.hpp"
 #include "core/geometry.hpp"
@@ -61,5 +64,34 @@ bool save_layout(const std::string& path, const Graph& g,
                  const LayoutGeometry& geom);
 [[nodiscard]] std::optional<LoadedLayout> load_layout(
     const std::string& path, DiagnosticSink* sink = nullptr);
+
+// ---- JSON -----------------------------------------------------------------
+// Minimal JSON reader for the machine-readable artifacts the toolchain emits
+// (obs trace/metrics files, BENCH_mlvl.json): strict enough to prove
+// well-formedness in tests and to merge bench baselines across runs. Numbers
+// are held as double; strings support the standard escapes (\uXXXX decodes
+// the ASCII range, anything beyond becomes '?').
+
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  /// First member with the given key, nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse one complete JSON document (trailing garbage rejected); nullopt on
+/// any syntax error. Never throws on malformed input.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+/// File helper: nullopt when the file cannot be opened or does not parse.
+[[nodiscard]] std::optional<JsonValue> load_json(const std::string& path);
 
 }  // namespace mlvl::io

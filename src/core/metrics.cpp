@@ -1,5 +1,7 @@
 #include "core/metrics.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace mlvl {
 
 LayoutMetrics compute_metrics(const MultilayerLayout& ml, const Graph& g) {
@@ -22,6 +24,19 @@ LayoutMetrics compute_metrics(const MultilayerLayout& ml, const Graph& g) {
       m.max_wire_length = m.edge_length[e];
       m.max_wire_edge = e;
     }
+  }
+  // Publish the paper's cost quantities of the most recent layout so a
+  // --metrics run records exactly the checker-verified values.
+  if (obs::metrics_enabled()) {
+    obs::gauge_set("layout.area", static_cast<double>(m.area));
+    obs::gauge_set("layout.volume", static_cast<double>(m.volume));
+    obs::gauge_set("layout.wiring_area", static_cast<double>(m.wiring_area));
+    obs::gauge_set("wire.total_length",
+                   static_cast<double>(m.total_wire_length));
+    obs::gauge_set("wire.max_length", static_cast<double>(m.max_wire_length));
+    obs::gauge_set("vias.count", static_cast<double>(m.via_count));
+    for (std::uint32_t len : m.edge_length)
+      obs::histogram_record("wire.edge_length", len);
   }
   return m;
 }

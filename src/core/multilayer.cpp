@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/interval.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mlvl {
 namespace {
@@ -21,6 +23,7 @@ struct TerminalRef {
 
 MultilayerLayout realize(const Orthogonal2Layer& o, const RealizeOptions& opt) {
   if (opt.L < 2) throw std::invalid_argument("realize: L >= 2 required");
+  obs::Span span("routing");
   const Graph& g = o.graph;
   const Placement& pl = o.place;
   const std::uint32_t R = pl.rows, C = pl.cols;
@@ -342,6 +345,15 @@ MultilayerLayout realize(const Orthogonal2Layer& o, const RealizeOptions& opt) {
     }
   }
   if (odd_group_used) ml.required_rule = ViaRule::kTransparent;
+  if (obs::metrics_enabled()) {
+    obs::counter_add("routing.segments", geo.segs.size());
+    obs::counter_add("vias.placed", geo.vias.size());
+    obs::counter_add("tracks.physical",
+                     std::uint64_t(wiring_w) + std::uint64_t(wiring_h));
+    obs::gauge_set("layout.L", L);
+    obs::gauge_set("layout.width", geo.width);
+    obs::gauge_set("layout.height", geo.height);
+  }
   return ml;
 }
 

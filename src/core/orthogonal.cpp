@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mlvl {
 
 EdgeId Orthogonal2Layer::add_extra_edge(NodeId u, NodeId v) {
@@ -83,22 +86,26 @@ Orthogonal2Layer orthogonal_greedy(Graph g, Placement place) {
   o.col_tracks.assign(o.place.cols, 0);
 
   std::vector<std::vector<Interval>> row_iv(o.place.rows), col_iv(o.place.cols);
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& ed = g.edge(e);
-    const std::uint32_t ru = o.place.row_of[ed.u], rv = o.place.row_of[ed.v];
-    const std::uint32_t cu = o.place.col_of[ed.u], cv = o.place.col_of[ed.v];
-    if (ru == rv) {
-      o.kind[e] = EdgeKind::kRow;
-      auto [lo, hi] = std::minmax(cu, cv);
-      row_iv[ru].push_back(Interval{lo, hi, e});
-    } else if (cu == cv) {
-      o.kind[e] = EdgeKind::kCol;
-      auto [lo, hi] = std::minmax(ru, rv);
-      col_iv[cu].push_back(Interval{lo, hi, e});
-    } else {
-      o.extras.push_back(ExtraRoute{e, ru, cv});
+  {
+    obs::Span span("placement");
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& ed = g.edge(e);
+      const std::uint32_t ru = o.place.row_of[ed.u], rv = o.place.row_of[ed.v];
+      const std::uint32_t cu = o.place.col_of[ed.u], cv = o.place.col_of[ed.v];
+      if (ru == rv) {
+        o.kind[e] = EdgeKind::kRow;
+        auto [lo, hi] = std::minmax(cu, cv);
+        row_iv[ru].push_back(Interval{lo, hi, e});
+      } else if (cu == cv) {
+        o.kind[e] = EdgeKind::kCol;
+        auto [lo, hi] = std::minmax(ru, rv);
+        col_iv[cu].push_back(Interval{lo, hi, e});
+      } else {
+        o.extras.push_back(ExtraRoute{e, ru, cv});
+      }
     }
   }
+  obs::Span span("interval");
   auto assign = [&](std::vector<std::vector<Interval>>& ivs,
                     std::vector<std::uint32_t>& counts) {
     for (std::size_t b = 0; b < ivs.size(); ++b) {
@@ -111,6 +118,12 @@ Orthogonal2Layer orthogonal_greedy(Graph g, Placement place) {
   };
   assign(row_iv, o.row_tracks);
   assign(col_iv, o.col_tracks);
+  if (obs::metrics_enabled()) {
+    std::uint64_t tracks = 0;
+    for (std::uint32_t t : o.row_tracks) tracks += t;
+    for (std::uint32_t t : o.col_tracks) tracks += t;
+    obs::counter_add("tracks.allocated", tracks);
+  }
   o.graph = std::move(g);
   return o;
 }
@@ -123,9 +136,20 @@ Orthogonal2Layer compose_product(const CollinearResult& row_factor,
 
   Orthogonal2Layer o;
   o.graph = Graph(n);
-  o.place = product_placement(n, a, row_factor.layout.pos, col_factor.layout.pos);
+  {
+    obs::Span span("placement");
+    o.place =
+        product_placement(n, a, row_factor.layout.pos, col_factor.layout.pos);
+  }
+
+  // The product's per-band track structure: every band replicates its
+  // factor's (already interval-optimal) assignment.
+  obs::Span span("interval");
   o.row_tracks.assign(b, row_factor.layout.num_tracks);
   o.col_tracks.assign(a, col_factor.layout.num_tracks);
+  obs::counter_add("tracks.allocated",
+                   std::uint64_t(b) * row_factor.layout.num_tracks +
+                       std::uint64_t(a) * col_factor.layout.num_tracks);
 
   // Row-factor edges replicated in every row; tracks from the factor layout.
   for (NodeId hi = 0; hi < b; ++hi) {

@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string_view>
+
+namespace mlvl::obs {
+namespace detail {
+
+std::atomic<TraceSession*> g_trace{nullptr};
+
+}  // namespace detail
+
+namespace {
+
+/// Small dense thread index: stable within a process, assigned on first use.
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+/// Per-thread span nesting depth (spans strictly nest within one thread).
+thread_local std::uint32_t t_depth = 0;
+
+/// JSON string escaping for span names (names are literals, but a custom
+/// instrumentation site may pass anything printable).
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        else
+          os << c;
+    }
+  }
+}
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSession::~TraceSession() {
+  TraceSession* self = this;
+  detail::g_trace.compare_exchange_strong(self, nullptr,
+                                          std::memory_order_relaxed);
+}
+
+void TraceSession::install() {
+  detail::g_trace.store(this, std::memory_order_relaxed);
+}
+
+void TraceSession::uninstall() {
+  detail::g_trace.store(nullptr, std::memory_order_relaxed);
+}
+
+TraceSession* TraceSession::current() {
+  return detail::g_trace.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceSession::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceSession::record(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(ev);
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceSession::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+bool TraceSession::has_span(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(events_.begin(), events_.end(),
+                     [&](const TraceEvent& ev) { return name == ev.name; });
+}
+
+void TraceSession::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> evs = events();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : evs) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    write_escaped(os, ev.name);
+    os << "\",\"cat\":\"mlvl\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+       << ",\"ts\":" << ev.ts_us << ",\"dur\":" << ev.dur_us
+       << ",\"args\":{\"depth\":" << ev.depth << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void Span::begin(const char* name) {
+  name_ = name;
+  depth_ = t_depth++;
+  begin_us_ = session_->now_us();
+}
+
+void Span::end() {
+  const std::uint64_t end_us = session_->now_us();
+  --t_depth;
+  session_->record(TraceEvent{name_, begin_us_, end_us - begin_us_,
+                              this_thread_index(), depth_});
+}
+
+}  // namespace mlvl::obs

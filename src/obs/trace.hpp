@@ -1,0 +1,106 @@
+// Phase tracing for the layout pipeline.
+//
+// A `TraceSession` collects scoped spans — one per pipeline phase (placement,
+// interval, routing, fold, check, lint, repair, ...) — with monotonic-clock
+// timestamps and writes them as Chrome trace-event JSON ("traceEvents" of
+// "ph":"X" complete events), loadable directly in Perfetto or
+// chrome://tracing.
+//
+// Instrumentation sites construct a `Span` (RAII): the constructor stamps the
+// begin time, the destructor records the completed event, so early returns
+// and exceptions always balance. Sessions are installed process-wide;
+// when none is installed the `Span` constructor is one relaxed atomic load
+// and a branch — the null-sink fast path that keeps instrumented hot paths
+// benchmark-neutral. Recording is thread-safe (one mutex around the event
+// vector); nesting depth and thread ids are tracked per thread.
+//
+// A session must outlive every span opened while it is installed: install
+// around a whole pipeline run, uninstall after the last phase returns.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace mlvl::obs {
+
+/// One completed span. `name` must point at a string literal (instrumentation
+/// sites pass phase names; nothing is copied on the hot path).
+struct TraceEvent {
+  const char* name = "";
+  std::uint64_t ts_us = 0;   ///< begin, microseconds since session start
+  std::uint64_t dur_us = 0;  ///< end - begin
+  std::uint32_t tid = 0;     ///< small per-session thread index
+  std::uint32_t depth = 0;   ///< span nesting depth at begin (0 = top level)
+};
+
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();  ///< uninstalls itself if still current
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Make this session the process-wide recording target / stop recording.
+  void install();
+  static void uninstall();
+  [[nodiscard]] static TraceSession* current();
+
+  /// Microseconds since the session epoch (monotonic clock).
+  [[nodiscard]] std::uint64_t now_us() const;
+  void record(const TraceEvent& ev);
+
+  /// Snapshot of every completed span, in completion order.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool has_span(std::string_view name) const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...], "displayTimeUnit":"ms"}.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+namespace detail {
+extern std::atomic<TraceSession*> g_trace;
+}  // namespace detail
+
+/// True iff a session is installed (the one branch disabled tracing costs).
+[[nodiscard]] inline bool tracing_enabled() {
+  return detail::g_trace.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// RAII scoped span. Nestable; balanced on every control path.
+class Span {
+ public:
+  explicit Span(const char* name)
+      : session_(detail::g_trace.load(std::memory_order_relaxed)) {
+    if (session_ == nullptr) return;  // null-sink fast path
+    begin(name);
+  }
+  ~Span() {
+    if (session_ != nullptr) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  TraceSession* session_;
+  const char* name_ = "";
+  std::uint64_t begin_us_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace mlvl::obs

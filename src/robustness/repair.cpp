@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/gridkey.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mlvl::robustness {
 namespace {
@@ -204,6 +206,7 @@ void sanitize(const Graph& g, LayoutGeometry& geom, std::set<EdgeId>& rip) {
 
 RepairReport repair_layout(const Graph& g, LayoutGeometry& geom,
                            const RepairOptions& opt) {
+  obs::Span span("repair");
   RepairReport rep;
   std::set<EdgeId> ever_failed;
 
@@ -243,12 +246,14 @@ RepairReport repair_layout(const Graph& g, LayoutGeometry& geom,
       std::erase_if(geom.segs, [e](const WireSeg& s) { return s.edge == e; });
       std::erase_if(geom.vias, [e](const Via& v) { return v.edge == e; });
       rep.ripped.push_back(e);
+      obs::counter_add("repair.ripups");
     }
 
     Router router(g, geom, opt);
     for (EdgeId e : rip) {
       if (router.route(e, geom)) {
         rep.rerouted.push_back(e);
+        obs::counter_add("repair.rerouted");
       } else {
         rep.failed.push_back(e);
         ever_failed.insert(e);

@@ -2,11 +2,14 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace mlvl::topo {
 
 Graph make_hypercube(std::uint32_t n) {
   if (n < 1 || n > 24)
     throw std::invalid_argument("make_hypercube: 1 <= n <= 24 required");
+  obs::Span span("topology");
   const NodeId N = 1u << n;
   Graph g(N);
   for (NodeId u = 0; u < N; ++u)

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace mlvl::topo {
 
 std::uint64_t kary_size(std::uint32_t k, std::uint32_t n) {
@@ -19,6 +21,7 @@ Graph make_kary_ncube(std::uint32_t k, std::uint32_t n, bool wrap) {
   const std::uint64_t size = kary_size(k, n);
   if (size > (1u << 26))
     throw std::invalid_argument("make_kary_ncube: network too large");
+  obs::Span span("topology");
   const auto N = static_cast<NodeId>(size);
   Graph g(N);
   for (NodeId u = 0; u < N; ++u) {

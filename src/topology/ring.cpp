@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace mlvl::topo {
 
 Graph make_ring(std::uint32_t k) {
   if (k < 2) throw std::invalid_argument("make_ring: k >= 2 required");
+  obs::Span span("topology");
   Graph g(k);
   for (std::uint32_t i = 0; i + 1 < k; ++i) g.add_edge(i, i + 1);
   if (k >= 3) g.add_edge(0, k - 1);
