@@ -1,0 +1,71 @@
+// Experiment T-sweep — serial vs parallel wall time of the batch layout
+// engine on the acceptance grid: hypercube n=6..10 x L=2..8 (35 jobs, 5
+// unique topologies). The geometric checker is off — it is quadratic and not
+// part of the engine being measured — and the topology cache is on, so the
+// measured work is 5 orthogonal builds plus 35 realize+metrics passes.
+//
+// Two rows land in BENCH_mlvl.json: family "sweep-serial" and
+// "sweep-parallel" (nodes = job count, wall_ms = best batch time), so CI can
+// track the parallel speedup across revisions.
+#include <benchmark/benchmark.h>
+
+#include <limits>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/sweep.hpp"
+
+namespace {
+
+using namespace mlvl;
+
+std::vector<engine::SweepJob> acceptance_grid() {
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  std::vector<engine::SweepJob> jobs;
+  for (std::uint32_t n = 6; n <= 10; ++n) {
+    std::optional<api::FamilySpec> spec =
+        reg.parse("hypercube(n=" + std::to_string(n) + ")");
+    for (std::uint32_t L = 2; L <= 8; ++L)
+      jobs.push_back({*spec, {.L = L}});
+  }
+  return jobs;
+}
+
+/// Run one batch per iteration on a fresh engine (cold cache — the cache
+/// warm-up is part of what the sweep amortizes) and record the best wall
+/// time under `family`.
+void sweep_batch(benchmark::State& state, const char* family,
+                 unsigned threads) {
+  const std::vector<engine::SweepJob> jobs = acceptance_grid();
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    engine::SweepReport r =
+        engine::run_sweep(jobs, {.threads = threads, .check = false});
+    if (!r.all_ok()) {
+      state.SkipWithError("sweep failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r.totals().area);
+    if (r.wall_ms < best_ms) best_ms = r.wall_ms;
+    state.counters["utilization"] = r.utilization();
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(jobs.size()));
+  bench::BenchRecorder::instance().add(
+      {family, 0, jobs.size(), best_ms, 0, 0, 0, 0, 0});
+}
+
+void BM_SweepSerial(benchmark::State& state) {
+  sweep_batch(state, "sweep-serial", 1);
+}
+
+void BM_SweepParallel(benchmark::State& state) {
+  sweep_batch(state, "sweep-parallel",
+              static_cast<unsigned>(state.range(0)));
+}
+
+BENCHMARK(BM_SweepSerial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepParallel)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,28 +5,65 @@
 //
 //   $ example_chip_planner [k] [n] [L] [--trace file] [--metrics file]
 //
+// All layouts are built through the api::FamilyRegistry, so the planner
+// exercises the same family specs as `layout_tool sweep`.
+//
 // exit codes: 0 all layouts valid, 1 checker failure or runtime error,
 // 3 bad arguments.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <new>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "analysis/report.hpp"
-#include "core/checker.hpp"
-#include "core/metrics.hpp"
-#include "layout/cluster_layout.hpp"
-#include "layout/kary_layout.hpp"
+#include "api/layout_api.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
+using namespace mlvl;
+
+/// Parse one positional argument strictly; atoi's silent-zero behaviour used
+/// to turn `example_chip_planner x` into a k=0 crash deep in the layout code.
+bool parse_pos(const std::vector<std::string>& pos, std::size_t i,
+               const char* name, std::uint32_t& out) {
+  if (i >= pos.size()) return true;  // keep the default
+  std::optional<std::uint64_t> v = api::parse_uint(pos[i]);
+  if (!v || *v == 0 || *v > 0xffffffffu) {
+    std::cerr << "chip_planner: " << name << " '" << pos[i]
+              << "' is not a positive integer\n";
+    return false;
+  }
+  out = static_cast<std::uint32_t>(*v);
+  return true;
+}
+
+/// Build + realize + check + measure through the public API; exits the
+/// planner on any structured spec error.
+std::optional<api::LayoutResult> plan(const std::string& spec_text,
+                                      RealizeOptions options) {
+  DiagnosticSink sink(8);
+  std::optional<api::FamilySpec> spec = api::parse_family_spec(spec_text, &sink);
+  api::LayoutRequest req;
+  if (spec) {
+    req.spec = std::move(*spec);
+    req.options = options;
+    api::LayoutResult res = api::run_layout(req, &sink);
+    if (res.ok) return res;
+    if (!res.error.empty()) std::cerr << "chip_planner: " << res.error << "\n";
+  }
+  for (const Diagnostic& d : sink.diagnostics())
+    std::cerr << "chip_planner: " << code_name(d.code) << ": " << d.to_string()
+              << "\n";
+  return std::nullopt;
+}
+
 int run(int argc, char** argv) {
-  using namespace mlvl;
   std::string trace_path, metrics_path;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
@@ -39,9 +76,10 @@ int run(int argc, char** argv) {
   // Defaults sit inside the paper's "clusters are free" regime: the Sec. 3.2
   // threshold is c = o(k^{n/2-1}), so n must be large enough for the
   // quotient wiring to dominate (n = 2 leaves no room at all).
-  const std::uint32_t k = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 4;
-  const std::uint32_t n = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 4;
-  const std::uint32_t L = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 8;
+  std::uint32_t k = 4, n = 4, L = 8;
+  if (!parse_pos(pos, 0, "k", k) || !parse_pos(pos, 1, "n", n) ||
+      !parse_pos(pos, 2, "L", L))
+    return 3;
 
   obs::TraceSession trace;
   obs::MetricsRegistry registry;
@@ -53,36 +91,37 @@ int run(int argc, char** argv) {
   std::cout << "k-ary n-cube cluster-c planner: k=" << k << " n=" << n
             << " L=" << L << "\n\n";
 
-  Orthogonal2Layer quotient = layout::layout_kary(k, n);
-  MultilayerLayout qml = realize(quotient, {.L = L});
-  LayoutMetrics qm = compute_metrics(qml, quotient.graph);
+  const std::string kn =
+      "k=" + std::to_string(k) + ",n=" + std::to_string(n);
+  std::optional<api::LayoutResult> quotient =
+      plan("kary(" + kn + ")", {.L = L});
+  if (!quotient) return 3;
+  const LayoutMetrics& qm = quotient->metrics;
   std::cout << "bare quotient: area " << qm.area << ", wiring area "
             << qm.wiring_area << "\n\n";
 
   analysis::Table t({"c", "total_nodes", "area", "wiring_area",
                      "vs_quotient", "max_wire", "checker"});
   for (std::uint32_t c : {2u, 4u, 8u, 16u}) {
-    Orthogonal2Layer o =
-        layout::layout_kary_cluster(k, n, c, topo::ClusterKind::kHypercube);
-    MultilayerLayout ml = realize(o, {.L = L});
-    CheckResult res = check_layout(o.graph, ml);
-    LayoutMetrics m = compute_metrics(ml, o.graph);
-    t.begin_row().cell(std::uint64_t(c))
-        .cell(std::uint64_t(o.graph.num_nodes())).cell(m.area)
+    const std::string spec = "cluster(" + kn + ",c=" + std::to_string(c) + ")";
+    std::optional<api::LayoutResult> res = plan(spec, {.L = L});
+    if (!res) return 1;
+    const LayoutMetrics& m = res->metrics;
+    t.begin_row().cell(std::uint64_t(c)).cell(res->nodes).cell(m.area)
         .cell(m.wiring_area)
         .cell(double(m.wiring_area) / qm.wiring_area, 2)
-        .cell(std::uint64_t(m.max_wire_length)).cell(res.ok ? "ok" : res.error);
-    if (!res.ok) return 1;
+        .cell(std::uint64_t(m.max_wire_length)).cell("ok");
   }
   t.print(std::cout);
 
   std::cout << "\nNode-area budget sweep at c=4 (optimally scalable nodes):\n";
-  Orthogonal2Layer o =
-      layout::layout_kary_cluster(k, n, 4, topo::ClusterKind::kHypercube);
   analysis::Table s({"node_side", "area", "wiring_area", "max_wire"});
   for (std::uint32_t side : {0u, 8u, 16u, 32u}) {
-    MultilayerLayout ml = realize(o, RealizeOptions{.L = L, .node_size = side});
-    LayoutMetrics m = compute_metrics(ml, o.graph);
+    std::optional<api::LayoutResult> res =
+        plan("cluster(" + kn + ",c=4)",
+             RealizeOptions{.L = L, .node_size = side});
+    if (!res) return 1;
+    const LayoutMetrics& m = res->metrics;
     s.begin_row().cell(std::uint64_t(side ? side : 8)).cell(m.area)
         .cell(m.wiring_area).cell(std::uint64_t(m.max_wire_length));
   }

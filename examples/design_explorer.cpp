@@ -5,29 +5,24 @@
 //
 //   $ example_design_explorer [L] [--trace file] [--metrics file]
 //
+// Candidates are plain api::FamilySpec strings resolved through the family
+// registry — the same specs `layout_tool sweep` accepts on the command line.
+//
 // exit codes: 0 all layouts valid, 1 checker failure or runtime error,
 // 3 bad arguments.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <new>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "analysis/report.hpp"
-#include "core/checker.hpp"
-#include "core/metrics.hpp"
+#include "api/layout_api.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "layout/butterfly_layout.hpp"
-#include "layout/ccc_layout.hpp"
-#include "layout/folded_hc_layout.hpp"
-#include "layout/ghc_layout.hpp"
-#include "layout/hsn_layout.hpp"
-#include "layout/hypercube_layout.hpp"
-#include "layout/kary_layout.hpp"
-#include "topology/ring.hpp"
 
 namespace {
 
@@ -42,7 +37,23 @@ int run(int argc, char** argv) {
     else if (!a.empty() && a[0] == '-') return 3;
     else pos.push_back(a);
   }
-  const std::uint32_t L = !pos.empty() ? std::atoi(pos[0].c_str()) : 8;
+  std::uint32_t L = 8;
+  if (!pos.empty()) {
+    std::optional<std::uint64_t> v = api::parse_uint(pos[0]);
+    if (!v || *v > 1024) {
+      std::cerr << "design_explorer: L '" << pos[0]
+                << "' is not a layer count\n";
+      return 3;
+    }
+    L = static_cast<std::uint32_t>(*v);
+  }
+  {
+    DiagnosticSink sink(4);
+    if (!api::validate_options({.L = L}, &sink)) {
+      std::cerr << "design_explorer: " << sink.first()->to_string() << "\n";
+      return 3;
+    }
+  }
 
   obs::TraceSession trace;
   obs::MetricsRegistry registry;
@@ -53,39 +64,53 @@ int run(int argc, char** argv) {
 
   struct Candidate {
     std::string name;
-    Orthogonal2Layer ortho;
+    std::string spec;
   };
-  // Candidates in the ~64..256 node range (different families cannot hit the
+  // Candidates in the ~64..384 node range (different families cannot hit the
   // same N exactly; report per-node-normalized costs too).
-  std::vector<Candidate> candidates;
-  candidates.push_back({"hypercube n=8 (N=256)", layout::layout_hypercube(8)});
-  candidates.push_back({"4-ary 4-cube (N=256)", layout::layout_kary(4, 4)});
-  candidates.push_back({"16-ary 2-cube (N=256)", layout::layout_kary(16, 2)});
-  candidates.push_back({"GHC r=16 n=2 (N=256)", layout::layout_ghc(16, 2)});
-  candidates.push_back(
-      {"folded hypercube n=8", layout::layout_folded_hypercube(8)});
-  candidates.push_back({"CCC n=5 (N=160)", layout::layout_ccc(5)});
-  candidates.push_back(
-      {"HSN l=2 r=16 (N=256)", layout::layout_hsn(2, topo::make_ring(16))});
-  candidates.push_back({"butterfly k=6 (N=384)", layout::layout_butterfly(6)});
+  const std::vector<Candidate> candidates = {
+      {"hypercube n=8 (N=256)", "hypercube(n=8)"},
+      {"4-ary 4-cube (N=256)", "kary(k=4,n=4)"},
+      {"16-ary 2-cube (N=256)", "kary(k=16,n=2)"},
+      {"GHC r=16 n=2 (N=256)", "ghc(r=16,n=2)"},
+      {"folded hypercube n=8", "folded(n=8)"},
+      {"CCC n=5 (N=160)", "ccc(n=5)"},
+      {"HSN l=2 r=16 (N=256)", "hsn(levels=2,r=16)"},
+      {"butterfly k=6 (N=384)", "butterfly(k=6)"},
+  };
 
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
   std::cout << "Design-space exploration at L=" << L << " wiring layers\n";
   analysis::Table t({"network", "N", "degree", "area", "area/N^2*1e3",
                      "volume", "max_wire", "checker"});
-  for (Candidate& c : candidates) {
-    MultilayerLayout ml = realize(c.ortho, {.L = L});
-    const bool small = c.ortho.graph.num_nodes() <= 256;
-    CheckResult res =
-        small ? check_layout(c.ortho.graph, ml) : CheckResult{true, "skipped", 0};
-    LayoutMetrics m = compute_metrics(ml, c.ortho.graph);
-    const double n2 = double(c.ortho.graph.num_nodes()) *
-                      c.ortho.graph.num_nodes();
-    t.begin_row().cell(c.name).cell(std::uint64_t(c.ortho.graph.num_nodes()))
-        .cell(std::uint64_t(c.ortho.graph.max_degree())).cell(m.area)
-        .cell(double(m.area) / n2 * 1e3, 2).cell(m.volume)
-        .cell(std::uint64_t(m.max_wire_length))
-        .cell(res.ok ? (res.error.empty() ? "ok" : res.error) : res.error);
-    if (!res.ok) return 1;
+  for (const Candidate& c : candidates) {
+    DiagnosticSink sink(8);
+    std::optional<api::FamilySpec> spec = reg.parse(c.spec, &sink);
+    std::optional<Orthogonal2Layer> ortho;
+    if (spec) ortho = reg.build(*spec, &sink);
+    if (!ortho) {
+      for (const Diagnostic& d : sink.diagnostics())
+        std::cerr << "design_explorer: " << d.to_string() << "\n";
+      return 1;
+    }
+    api::LayoutRequest req;
+    req.spec = *spec;
+    req.options = {.L = L};
+    // Full geometric verification is quadratic-ish in span; skip it for the
+    // largest candidate, exactly as the pre-registry explorer did.
+    const bool small = ortho->graph.num_nodes() <= 256;
+    req.check = small;
+    api::LayoutResult res = api::run_layout(*ortho, req);
+    if (!res.ok) {
+      std::cerr << "design_explorer: " << c.spec << ": " << res.error << "\n";
+      return 1;
+    }
+    const double n2 = double(res.nodes) * double(res.nodes);
+    t.begin_row().cell(c.name).cell(res.nodes)
+        .cell(std::uint64_t(ortho->graph.max_degree())).cell(res.metrics.area)
+        .cell(double(res.metrics.area) / n2 * 1e3, 2).cell(res.metrics.volume)
+        .cell(std::uint64_t(res.metrics.max_wire_length))
+        .cell(small ? "ok" : "skipped");
   }
   t.print(std::cout);
   std::cout << "\narea/N^2 normalizes families of different sizes; lower is "

@@ -5,13 +5,13 @@
 //   Fig. 1 — top view of a recursive-grid (CCC) layout (SVG)
 // SVGs are written to the current directory.
 #include <iostream>
+#include <optional>
+#include <utility>
 
+#include "api/layout_api.hpp"
 #include "core/ascii.hpp"
-#include "core/checker.hpp"
 #include "core/collinear.hpp"
-#include "core/multilayer.hpp"
 #include "core/svg.hpp"
-#include "layout/ccc_layout.hpp"
 
 namespace {
 
@@ -54,12 +54,21 @@ int main() {
 
   // Fig. 1: recursive-grid top view — the flattened CCC(3) layout shows the
   // level blocks (cycles) arranged as a grid with inter-block wiring bands.
-  Orthogonal2Layer ccc = layout::layout_ccc(3);
-  MultilayerLayout ml = realize(ccc, {.L = 2});
-  CheckResult res = check_layout(ccc.graph, ml);
+  // Built through the public family registry, like every other front-end.
+  DiagnosticSink sink(8);
+  std::optional<api::FamilySpec> spec = api::parse_family_spec("ccc(n=3)", &sink);
+  api::LayoutRequest req;
+  if (spec) req.spec = std::move(*spec);
+  req.options = {.L = 2};
+  api::LayoutResult res = api::run_layout(req, &sink);
+  if (!res.ok) {
+    for (const Diagnostic& d : sink.diagnostics())
+      std::cerr << "figure_gallery: " << d.to_string() << "\n";
+    if (!res.error.empty()) std::cerr << "figure_gallery: " << res.error << "\n";
+  }
   std::cout << "\n--- Fig. 1: recursive grid scheme, CCC(3) top view ("
             << (res.ok ? "verified" : res.error) << ") ---\n";
-  if (write_svg(ml.geom, "fig1_recursive_grid.svg"))
+  if (write_svg(res.layout.geom, "fig1_recursive_grid.svg"))
     std::cout << "wrote fig1_recursive_grid.svg\n";
   return res.ok ? 0 : 1;
 }

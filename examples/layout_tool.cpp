@@ -5,6 +5,13 @@
 // profiler: --trace/--metrics record every pipeline phase (topology,
 // placement, interval, routing, fold, check, lint, repair) as Chrome
 // trace-event JSON and a metrics registry dump, without touching stdout.
+// And the sweeper: `sweep` expands family patterns like hypercube(n=6..10)
+// across an -L range and runs every job on the parallel batch engine, with
+// results printed in submission order (so -j 8 output is byte-identical to
+// -j 1).
+//
+// Families are resolved through api::FamilyRegistry — the single dispatch
+// point shared by every front end — not a per-tool if-else chain.
 //
 // See examples/layout_tool_usage.hpp for the full usage block (asserted
 // current by tests/test_obs.cpp).
@@ -18,6 +25,7 @@
 #include <iostream>
 #include <map>
 #include <new>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -25,26 +33,17 @@
 #include "analysis/lint.hpp"
 #include "analysis/report.hpp"
 #include "analysis/routing.hpp"
+#include "api/layout_api.hpp"
 #include "core/checker.hpp"
 #include "core/fold.hpp"
 #include "core/io.hpp"
 #include "core/metrics.hpp"
 #include "core/svg.hpp"
-#include "layout/butterfly_layout.hpp"
-#include "layout/cayley_layout.hpp"
-#include "layout/ccc_layout.hpp"
-#include "layout/cluster_layout.hpp"
-#include "layout/folded_hc_layout.hpp"
-#include "layout/ghc_layout.hpp"
-#include "layout/hsn_layout.hpp"
-#include "layout/hypercube_layout.hpp"
-#include "layout/isn_layout.hpp"
-#include "layout/kary_layout.hpp"
+#include "engine/sweep.hpp"
 #include "layout_tool_usage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "robustness/repair.hpp"
-#include "topology/ring.hpp"
 
 namespace {
 
@@ -363,6 +362,26 @@ int run_lint(const std::vector<std::string>& args, const CommonOptions& copt) {
   return strict ? kExitInvalid : kExitValid;
 }
 
+/// Strict flag-value parse: `-L 0`, `-L 1` and non-numeric values are usage
+/// errors at the API boundary, never a silent atoi zero fed into realize().
+bool parse_u32_flag(const std::string& text, const char* flag,
+                    std::uint32_t& out) {
+  std::optional<std::uint64_t> v = api::parse_uint(text);
+  if (!v || *v > 0xffffffffu) {
+    std::cerr << "layout_tool: " << flag << " '" << text
+              << "' is not an unsigned integer\n";
+    return false;
+  }
+  out = static_cast<std::uint32_t>(*v);
+  return true;
+}
+
+void print_spec_errors(const DiagnosticSink& sink) {
+  for (const Diagnostic& d : sink.diagnostics())
+    std::cerr << "layout_tool: " << code_name(d.code) << ": " << d.to_string()
+              << "\n";
+}
+
 int run_layout(const std::vector<std::string>& args,
                const CommonOptions& copt) {
   std::uint32_t L = 4;
@@ -371,7 +390,7 @@ int run_layout(const std::vector<std::string>& args,
   std::vector<std::string> pos;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "-L" && i + 1 < args.size()) {
-      L = std::atoi(args[++i].c_str());
+      if (!parse_u32_flag(args[++i], "-L", L)) return usage();
     } else if (args[i] == "-svg" && i + 1 < args.size()) {
       svg_path = args[++i];
     } else if (args[i] == "-save" && i + 1 < args.size()) {
@@ -386,46 +405,42 @@ int run_layout(const std::vector<std::string>& args,
   }
   if (pos.empty()) return usage();
 
-  auto arg_at = [&](std::size_t i) -> std::uint32_t {
-    return i < pos.size() ? std::atoi(pos[i].c_str()) : 0;
-  };
-
-  Orthogonal2Layer ortho;
-  const std::string& net = pos[0];
-  if (net == "hypercube") ortho = layout::layout_hypercube(arg_at(1));
-  else if (net == "kary") ortho = layout::layout_kary(arg_at(1), arg_at(2));
-  else if (net == "mesh") ortho = layout::layout_kary_mesh(arg_at(1), arg_at(2));
-  else if (net == "ghc") ortho = layout::layout_ghc(arg_at(1), arg_at(2));
-  else if (net == "folded") ortho = layout::layout_folded_hypercube(arg_at(1));
-  else if (net == "enhanced")
-    ortho = layout::layout_enhanced_cube(arg_at(1), arg_at(2));
-  else if (net == "ccc") ortho = layout::layout_ccc(arg_at(1));
-  else if (net == "rh") ortho = layout::layout_reduced_hypercube(arg_at(1));
-  else if (net == "hsn")
-    ortho = layout::layout_hsn(arg_at(1), topo::make_ring(arg_at(2)));
-  else if (net == "hhn") ortho = layout::layout_hhn(arg_at(1), arg_at(2));
-  else if (net == "isn") ortho = layout::layout_isn(arg_at(1), arg_at(2));
-  else if (net == "butterfly") ortho = layout::layout_butterfly(arg_at(1));
-  else if (net == "star") ortho = layout::layout_star_structured(arg_at(1));
-  else if (net == "cluster")
-    ortho = layout::layout_kary_cluster(arg_at(1), arg_at(2), arg_at(3),
-                                        topo::ClusterKind::kHypercube);
-  else return usage();
-
-  MultilayerLayout ml = realize(ortho, {.L = L});
-  if (check) {
-    CheckResult res = check_layout(ortho.graph, ml);
-    if (!res.ok) {
-      std::cerr << "checker FAILED: " << res.error << "\n";
-      return kExitInvalid;
-    }
-    if (copt.loud())
-      std::cout << "checker ok (" << res.points << " occupied grid points, "
-                << (ml.required_rule == ViaRule::kBlocking
-                        ? "strict grid model"
-                        : "stacked-via rule")
-                << ")\n";
+  // Resolve the family through the registry: `hypercube 6` and
+  // `"hypercube(n=6)"` both work, and every error names its parameter.
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  DiagnosticSink spec_sink(16);
+  std::optional<api::FamilySpec> spec =
+      pos.size() == 1 && pos[0].find('(') != std::string::npos
+          ? reg.parse(pos[0], &spec_sink)
+          : reg.parse_cli(pos, &spec_sink);
+  if (spec) {
+    if (!api::validate_options({.L = L}, &spec_sink)) spec.reset();
   }
+  std::optional<Orthogonal2Layer> built;
+  if (spec) built = reg.build(*spec, &spec_sink);
+  if (!built) {
+    print_spec_errors(spec_sink);
+    return usage();
+  }
+  const Orthogonal2Layer& ortho = *built;
+
+  api::LayoutRequest req;
+  req.spec = *spec;
+  req.options = {.L = L};
+  req.check = check;
+  api::LayoutResult result = api::run_layout(ortho, req);
+  if (!result.ok) {
+    std::cerr << "checker FAILED: " << result.error << "\n";
+    return kExitInvalid;
+  }
+  MultilayerLayout& ml = result.layout;
+  if (check && copt.loud())
+    std::cout << "checker ok (" << result.check_points
+              << " occupied grid points, "
+              << (ml.required_rule == ViaRule::kBlocking
+                      ? "strict grid model"
+                      : "stacked-via rule")
+              << ")\n";
 
   if (copt.obs_enabled()) {
     // Profiled pipeline extras: the fold baseline the paper compares against
@@ -453,7 +468,7 @@ int run_layout(const std::vector<std::string>& args,
                 << lint_stats.suppressed << " suppressed\n";
   }
 
-  LayoutMetrics m = compute_metrics(ml, ortho.graph);
+  LayoutMetrics& m = result.metrics;
   if (copt.loud()) {
     analysis::Table t({"nodes", "edges", "L", "width", "height", "area",
                        "track_area", "volume", "max_wire", "vias"});
@@ -505,6 +520,105 @@ int run_layout(const std::vector<std::string>& args,
   return kExitValid;
 }
 
+/// `sweep` mode: expand family patterns across an -L range, run the batch on
+/// the parallel engine, print per-job metrics in submission order. Stdout is
+/// deterministic for a given job list — timings only appear at -v — so
+/// `-j 8` output is byte-identical to `-j 1`.
+int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
+  std::uint32_t l_lo = 4, l_hi = 4;
+  std::uint32_t jobs_flag = 0;
+  engine::SweepOptions opt;
+  std::vector<std::string> patterns;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-L" && i + 1 < args.size()) {
+      const std::string& v = args[++i];
+      const std::size_t dots = v.find("..");
+      std::optional<std::uint64_t> lo =
+          api::parse_uint(dots == std::string::npos ? v : v.substr(0, dots));
+      std::optional<std::uint64_t> hi =
+          dots == std::string::npos ? lo : api::parse_uint(v.substr(dots + 2));
+      if (!lo || !hi || *hi < *lo || *hi > 1024) {
+        std::cerr << "layout_tool: -L '" << v
+                  << "' is not a layer count or lo..hi range\n";
+        return usage();
+      }
+      l_lo = static_cast<std::uint32_t>(*lo);
+      l_hi = static_cast<std::uint32_t>(*hi);
+    } else if (args[i] == "-j" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "-j", jobs_flag) || jobs_flag == 0 ||
+          jobs_flag > 256) {
+        std::cerr << "layout_tool: -j wants 1..256 workers\n";
+        return usage();
+      }
+    } else if (args[i] == "-nocheck") {
+      opt.check = false;
+    } else if (args[i] == "-nocache") {
+      opt.use_cache = false;
+    } else if (!args[i].empty() && args[i][0] != '-') {
+      patterns.push_back(args[i]);
+    } else {
+      return usage();
+    }
+  }
+  if (patterns.empty()) return usage();
+  opt.threads = jobs_flag;
+
+  // Expand patterns x L range into the job list, submission order =
+  // pattern order x parameter odometer x ascending L.
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  DiagnosticSink sink(32);
+  std::vector<engine::SweepJob> jobs;
+  for (const std::string& pat : patterns) {
+    std::optional<std::vector<api::FamilySpec>> specs = reg.expand(pat, &sink);
+    if (!specs) {
+      print_spec_errors(sink);
+      return usage();
+    }
+    for (api::FamilySpec& spec : *specs)
+      for (std::uint32_t L = l_lo; L <= l_hi; ++L)
+        jobs.push_back({spec, {.L = L}});
+  }
+  {
+    DiagnosticSink lsink(4);
+    if (!api::validate_options({.L = l_lo}, &lsink)) {
+      print_spec_errors(lsink);
+      return usage();
+    }
+  }
+
+  engine::SweepReport report = engine::run_sweep(jobs, opt);
+
+  if (copt.loud()) {
+    analysis::Table t({"spec", "L", "nodes", "edges", "area", "track_area",
+                       "volume", "max_wire", "vias", "status"});
+    for (const engine::JobResult& j : report.jobs) {
+      t.begin_row().cell(api::format_family_spec(j.spec))
+          .cell(std::uint64_t(j.L));
+      if (j.ok) {
+        t.cell(j.nodes).cell(j.edges).cell(j.metrics.area)
+            .cell(j.metrics.wiring_area).cell(j.metrics.volume)
+            .cell(std::uint64_t(j.metrics.max_wire_length))
+            .cell(j.metrics.via_count).cell("ok");
+      } else {
+        t.cell(std::uint64_t(0)).cell(std::uint64_t(0)).cell(std::uint64_t(0))
+            .cell(std::uint64_t(0)).cell(std::uint64_t(0))
+            .cell(std::uint64_t(0)).cell(std::uint64_t(0)).cell(j.error);
+      }
+    }
+    t.print(std::cout);
+    const engine::SweepTotals totals = report.totals();
+    std::cout << "sweep: " << report.jobs.size() << " job(s), " << totals.ok
+              << " ok, " << totals.failed << " failed, " << report.cache_hits
+              << " cache hit(s), " << report.cache_misses << " topology build"
+              << (report.cache_misses == 1 ? "" : "s") << "\n";
+    if (copt.loud(2))
+      std::cout << "timing: " << report.threads << " worker(s), wall "
+                << report.wall_ms << " ms, busy " << report.busy_ms
+                << " ms, utilization " << report.utilization() << "\n";
+  }
+  return report.all_ok() ? kExitValid : kExitInvalid;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -524,6 +638,8 @@ int run(int argc, char** argv) {
     rc = run_doctor({args.begin() + 1, args.end()}, copt);
   else if (args[0] == "--lint")
     rc = run_lint({args.begin() + 1, args.end()}, copt);
+  else if (args[0] == "sweep")
+    rc = run_sweep({args.begin() + 1, args.end()}, copt);
   else
     rc = run_layout(args, copt);
 

@@ -5,7 +5,9 @@
 namespace mlvl::tool {
 
 inline constexpr const char kLayoutToolUsage[] =
-    R"(usage: layout_tool <network> [args...] [options]
+    R"usage(usage: layout_tool <network> [args...] [options]
+       layout_tool sweep <spec-range>... [-L lo[..hi]] [-j N]
+                   [-nocheck] [-nocache]
        layout_tool --doctor <file> [-repair] [-save file] [-transparent]
        layout_tool --lint <file> [-strict] [-baseline file]
                    [-save-baseline file] [-disable rule] [-transparent]
@@ -13,12 +15,18 @@ networks: hypercube n | kary k n | mesh k n | ghc r n |
           folded n | enhanced n seed | ccc n | rh n |
           hsn levels r | hhn levels m | isn levels r |
           butterfly k | star n | cluster k n c
+          (also spec form: hypercube(n=4), cluster(k=4,n=4,c=8), ...)
 options:
   -L <layers>       wiring layers (default 4)
   -svg <file>       write an SVG rendering
   -save <file>      export graph+geometry in the mlvl text format
   -congestion       print the per-layer utilization report
   -nocheck          skip geometric verification (for very large instances)
+sweep options:
+  spec ranges use a=lo..hi, e.g. "hypercube(n=4..8)" or "kary(k=3,n=1..3)"
+  -j <N>            worker threads (default: hardware concurrency)
+  -nocache          do not share topologies across layer counts
+
 observability (all modes):
   --trace <file>    write a Chrome trace-event JSON of every pipeline phase
   --metrics <file>  write the metrics registry (.csv extension -> CSV, else JSON)
@@ -35,6 +43,6 @@ lint options:
   -disable <rule-id> turn one rule off (repeatable)
   -transparent      lint under the stacked-via rule instead of blocking
 exit codes: 0 valid, 1 invalid, 2 parse error, 3 usage
-)";
+)usage";
 
 }  // namespace mlvl::tool

@@ -4,36 +4,53 @@
 //   $ example_quickstart [n] [L]
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 
 #include "analysis/formulas.hpp"
 #include "analysis/report.hpp"
-#include "core/checker.hpp"
-#include "core/metrics.hpp"
-#include "layout/hypercube_layout.hpp"
+#include "api/layout_api.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlvl;
   const std::uint32_t n = argc > 1 ? std::atoi(argv[1]) : 8;
   const std::uint32_t L = argc > 2 ? std::atoi(argv[2]) : 8;
 
-  // 1. Build the paper's orthogonal layout for the 2^n-node hypercube.
-  Orthogonal2Layer ortho = layout::layout_hypercube(n);
-  std::cout << "hypercube n=" << n << ": " << ortho.graph.num_nodes()
-            << " nodes, " << ortho.graph.num_edges() << " edges\n";
+  // 1. Resolve the family through the public registry — the same spec string
+  //    `layout_tool sweep "hypercube(n=8)"` takes — and build the orthogonal
+  //    layout for the 2^n-node hypercube once.
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  DiagnosticSink sink(8);
+  std::optional<api::FamilySpec> spec =
+      reg.parse("hypercube(n=" + std::to_string(n) + ")", &sink);
+  std::optional<Orthogonal2Layer> ortho;
+  if (spec) ortho = reg.build(*spec, &sink);
+  if (!ortho) {
+    for (const Diagnostic& d : sink.diagnostics())
+      std::cerr << "quickstart: " << d.to_string() << "\n";
+    return 3;
+  }
+  std::cout << "hypercube n=" << n << ": " << ortho->graph.num_nodes()
+            << " nodes, " << ortho->graph.num_edges() << " edges\n";
 
   // 2. Realize explicit geometry for a range of layer counts and verify it.
+  //    The orthogonal layout is L-independent, so it is reused across rows.
   analysis::Table t({"L", "width", "height", "area", "track_area",
                      "paper_track_area", "volume", "max_wire", "checker"});
   for (std::uint32_t layers = 2; layers <= L; layers += 2) {
-    MultilayerLayout ml = realize(ortho, {.L = layers});
-    CheckResult res = check_layout(ortho.graph, ml);
-    LayoutMetrics m = compute_metrics(ml, ortho.graph);
+    api::LayoutRequest req;
+    req.spec = *spec;
+    req.options = {.L = layers};
+    api::LayoutResult res = api::run_layout(*ortho, req);
+    if (!res.ok) {
+      std::cerr << "quickstart: L=" << layers << ": " << res.error << "\n";
+      return 1;
+    }
+    const LayoutMetrics& m = res.metrics;
     t.begin_row().cell(std::uint64_t(layers)).cell(std::uint64_t(m.width))
         .cell(std::uint64_t(m.height)).cell(m.area).cell(m.wiring_area)
-        .cell(formulas::hypercube_area(ortho.graph.num_nodes(), layers), 0)
+        .cell(formulas::hypercube_area(res.nodes, layers), 0)
         .cell(m.volume).cell(std::uint64_t(m.max_wire_length))
-        .cell(res.ok ? "ok" : res.error);
-    if (!res.ok) return 1;
+        .cell("ok");
   }
   t.print(std::cout);
   std::cout << "\nDoubling the layers quarters the track area (the paper's "

@@ -1,0 +1,153 @@
+// Built-in family registrations — the one place that knows which layout
+// construction realizes which family name. Everything downstream (CLI
+// front ends, the batch engine, tests, benches) goes through the registry.
+//
+// Declared ranges are the first line of validation (structured diagnostics
+// with the parameter name); constraints a [min, max] interval cannot express
+// (butterfly's b < k, cluster's power-of-two c for hypercube clusters) stay
+// in the constructions, whose std::invalid_argument the registry converts to
+// kSpecBadValue.
+#include "api/registry.hpp"
+
+#include "layout/butterfly_layout.hpp"
+#include "layout/cayley_layout.hpp"
+#include "layout/ccc_layout.hpp"
+#include "layout/cluster_layout.hpp"
+#include "layout/folded_hc_layout.hpp"
+#include "layout/ghc_layout.hpp"
+#include "layout/hsn_layout.hpp"
+#include "layout/hypercube_layout.hpp"
+#include "layout/isn_layout.hpp"
+#include "layout/kary_layout.hpp"
+#include "topology/ring.hpp"
+
+namespace mlvl::api {
+namespace {
+
+std::uint32_t u32(const FamilySpec& s, std::string_view name) {
+  return static_cast<std::uint32_t>(s.value_or(name, 0));
+}
+
+}  // namespace
+
+void register_builtin_families(FamilyRegistry& reg) {
+  reg.add({.name = "hypercube",
+           .summary = "binary hypercube, Sec. 5.1 collinear factors",
+           .params = {{.name = "n", .min = 2, .max = 16}},
+           .sample = "hypercube(n=4)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_hypercube(u32(s, "n"));
+           }});
+  reg.add({.name = "kary",
+           .summary = "k-ary n-cube (torus), Sec. 3.1 digit split",
+           .params = {{.name = "k", .min = 2, .max = 64},
+                      {.name = "n", .min = 1, .max = 10}},
+           .sample = "kary(k=3,n=2)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_kary(u32(s, "k"), u32(s, "n"));
+           }});
+  reg.add({.name = "mesh",
+           .summary = "k-ary n-mesh (no wraparound)",
+           .params = {{.name = "k", .min = 2, .max = 64},
+                      {.name = "n", .min = 1, .max = 10}},
+           .sample = "mesh(k=3,n=2)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_kary_mesh(u32(s, "k"), u32(s, "n"));
+           }});
+  reg.add({.name = "ghc",
+           .summary = "generalized hypercube, uniform radix, Sec. 4.1",
+           .params = {{.name = "r", .min = 2, .max = 64},
+                      {.name = "n", .min = 1, .max = 10}},
+           .sample = "ghc(r=3,n=2)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_ghc(u32(s, "r"), u32(s, "n"));
+           }});
+  reg.add({.name = "folded",
+           .summary = "folded hypercube, Sec. 5.3 extra links",
+           .params = {{.name = "n", .min = 2, .max = 16}},
+           .sample = "folded(n=4)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_folded_hypercube(u32(s, "n"));
+           }});
+  reg.add({.name = "enhanced",
+           .summary = "enhanced cube: hypercube + seeded random extras",
+           .params = {{.name = "n", .min = 2, .max = 16},
+                      {.name = "seed", .min = 0, .max = ~std::uint64_t{0},
+                       .required = false, .def = 1}},
+           .sample = "enhanced(n=4,seed=1)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_enhanced_cube(u32(s, "n"),
+                                                 s.value_or("seed", 1));
+           }});
+  reg.add({.name = "ccc",
+           .summary = "cube-connected cycles, Sec. 5.2 recursive grid",
+           .params = {{.name = "n", .min = 2, .max = 12}},
+           .sample = "ccc(n=3)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_ccc(u32(s, "n"));
+           }});
+  reg.add({.name = "rh",
+           .summary = "reduced hypercube, Sec. 5.2",
+           .params = {{.name = "n", .min = 2, .max = 14}},
+           .sample = "rh(n=4)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_reduced_hypercube(u32(s, "n"));
+           }});
+  reg.add({.name = "hsn",
+           .summary = "hierarchical swap network over a ring nucleus",
+           .params = {{.name = "levels", .min = 1, .max = 6},
+                      {.name = "r", .min = 2, .max = 64}},
+           .sample = "hsn(levels=2,r=4)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_hsn(u32(s, "levels"),
+                                       topo::make_ring(u32(s, "r")));
+           }});
+  reg.add({.name = "hhn",
+           .summary = "hierarchical hypercube network (hypercube nucleus)",
+           .params = {{.name = "levels", .min = 1, .max = 6},
+                      {.name = "m", .min = 1, .max = 10}},
+           .sample = "hhn(levels=2,m=2)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_hhn(u32(s, "levels"), u32(s, "m"));
+           }});
+  reg.add({.name = "isn",
+           .summary = "indirect swap network, Sec. 4.3",
+           .params = {{.name = "levels", .min = 2, .max = 6},
+                      {.name = "r", .min = 2, .max = 64},
+                      {.name = "links", .min = 2, .max = 4,
+                       .required = false, .def = 2}},
+           .sample = "isn(levels=2,r=4,links=2)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_isn(u32(s, "levels"), u32(s, "r"),
+                                       u32(s, "links"));
+           }});
+  reg.add({.name = "butterfly",
+           .summary = "wrapped butterfly as quotient clusters, Sec. 4.2",
+           .params = {{.name = "k", .min = 2, .max = 12},
+                      {.name = "b", .min = 1, .max = 8,
+                       .required = false, .def = 2}},
+           .sample = "butterfly(k=3,b=2)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_butterfly(u32(s, "k"), u32(s, "b"));
+           }});
+  reg.add({.name = "star",
+           .summary = "star graph, structured Cayley layout, Sec. 4.3",
+           .params = {{.name = "n", .min = 3, .max = 7}},
+           .sample = "star(n=4)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_star_structured(u32(s, "n"));
+           }});
+  reg.add({.name = "cluster",
+           .summary = "k-ary n-cube cluster-c (hypercube clusters), Sec. 3.2",
+           .params = {{.name = "k", .min = 2, .max = 64},
+                      {.name = "n", .min = 1, .max = 10},
+                      {.name = "c", .min = 2, .max = 64}},
+           .sample = "cluster(k=3,n=2,c=4)",
+           .build = [](const FamilySpec& s) {
+             return layout::layout_kary_cluster(u32(s, "k"), u32(s, "n"),
+                                                u32(s, "c"),
+                                                topo::ClusterKind::kHypercube);
+           }});
+}
+
+}  // namespace mlvl::api

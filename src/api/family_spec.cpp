@@ -1,0 +1,178 @@
+#include "api/family_spec.hpp"
+
+#include <cctype>
+
+namespace mlvl::api {
+namespace {
+
+void report(DiagnosticSink* sink, Code code, std::string detail) {
+  if (sink == nullptr) return;
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::kError;
+  d.detail = std::move(detail);
+  sink->report(std::move(d));
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool valid_name(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-')
+      return false;
+  }
+  return !std::isdigit(static_cast<unsigned char>(s.front()));
+}
+
+/// Split `args` at top-level commas (no nesting in the grammar, so this is a
+/// plain split that rejects empty pieces).
+bool split_args(std::string_view args, std::vector<std::string_view>& out) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= args.size(); ++i) {
+    if (i == args.size() || args[i] == ',') {
+      std::string_view piece = trim(args.substr(start, i - start));
+      if (piece.empty()) return false;
+      out.push_back(piece);
+      start = i + 1;
+    }
+  }
+  return true;
+}
+
+/// `value` or `lo..hi`; returns false on malformed numbers or hi < lo.
+bool parse_range(std::string_view text, ParamRange& r) {
+  const std::size_t dots = text.find("..");
+  if (dots == std::string_view::npos) {
+    std::optional<std::uint64_t> v = parse_uint(trim(text));
+    if (!v) return false;
+    r.lo = r.hi = *v;
+    return true;
+  }
+  std::optional<std::uint64_t> lo = parse_uint(trim(text.substr(0, dots)));
+  std::optional<std::uint64_t> hi = parse_uint(trim(text.substr(dots + 2)));
+  if (!lo || !hi || *hi < *lo) return false;
+  r.lo = *lo;
+  r.hi = *hi;
+  return true;
+}
+
+}  // namespace
+
+const std::uint64_t* FamilySpec::find(std::string_view name) const {
+  for (const Param& p : params)
+    if (p.name == name) return &p.value;
+  return nullptr;
+}
+
+std::uint64_t FamilySpec::value_or(std::string_view name,
+                                   std::uint64_t fallback) const {
+  const std::uint64_t* v = find(name);
+  return v != nullptr ? *v : fallback;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::optional<FamilyPattern> parse_family_pattern(std::string_view text,
+                                                  DiagnosticSink* sink) {
+  text = trim(text);
+  FamilyPattern pat;
+  std::string_view args;
+  const std::size_t open = text.find('(');
+  if (open == std::string_view::npos) {
+    pat.family = std::string(text);
+  } else {
+    if (text.back() != ')') {
+      report(sink, Code::kSpecBadValue,
+             "unbalanced parentheses in '" + std::string(text) + "'");
+      return std::nullopt;
+    }
+    pat.family = std::string(trim(text.substr(0, open)));
+    args = trim(text.substr(open + 1, text.size() - open - 2));
+  }
+  if (!valid_name(pat.family)) {
+    report(sink, Code::kSpecUnknownFamily,
+           "malformed family name in '" + std::string(text) + "'");
+    return std::nullopt;
+  }
+  if (args.empty()) return pat;
+
+  std::vector<std::string_view> pieces;
+  if (!split_args(args, pieces)) {
+    report(sink, Code::kSpecBadValue,
+           "empty argument in '" + std::string(text) + "'");
+    return std::nullopt;
+  }
+  for (std::string_view piece : pieces) {
+    ParamRange r;
+    std::string_view value = piece;
+    const std::size_t eq = piece.find('=');
+    if (eq != std::string_view::npos) {
+      std::string_view name = trim(piece.substr(0, eq));
+      if (!valid_name(name)) {
+        report(sink, Code::kSpecBadValue,
+               "malformed parameter name in '" + std::string(piece) + "'");
+        return std::nullopt;
+      }
+      r.name = std::string(name);
+      value = trim(piece.substr(eq + 1));
+    }
+    if (!parse_range(value, r)) {
+      report(sink, Code::kSpecBadValue,
+             (r.name.empty() ? "argument" : r.name) + " = '" +
+                 std::string(value) + "' is not an unsigned integer or range");
+      return std::nullopt;
+    }
+    pat.params.push_back(std::move(r));
+  }
+  return pat;
+}
+
+std::optional<FamilySpec> parse_family_spec(std::string_view text,
+                                            DiagnosticSink* sink) {
+  std::optional<FamilyPattern> pat = parse_family_pattern(text, sink);
+  if (!pat) return std::nullopt;
+  FamilySpec spec;
+  spec.family = std::move(pat->family);
+  for (ParamRange& r : pat->params) {
+    if (r.lo != r.hi) {
+      report(sink, Code::kSpecBadValue,
+             (r.name.empty() ? "argument" : r.name) +
+                 ": ranges are only valid in sweep patterns");
+      return std::nullopt;
+    }
+    spec.params.push_back(Param{std::move(r.name), r.lo});
+  }
+  return spec;
+}
+
+std::string format_family_spec(const FamilySpec& spec) {
+  std::string s = spec.family;
+  s += '(';
+  for (std::size_t i = 0; i < spec.params.size(); ++i) {
+    if (i != 0) s += ',';
+    if (!spec.params[i].name.empty()) {
+      s += spec.params[i].name;
+      s += '=';
+    }
+    s += std::to_string(spec.params[i].value);
+  }
+  s += ')';
+  return s;
+}
+
+}  // namespace mlvl::api

@@ -1,0 +1,88 @@
+// Canonical network-family specifications — the public naming surface of the
+// library (Sec. 3-5 families plus the engineering extensions).
+//
+// A `FamilySpec` is a family name plus named integer parameters, e.g.
+// `hypercube(n=6)` or `cluster(k=4,n=4,c=8)`. The textual grammar is
+//
+//   spec    := name [ '(' args ')' ]
+//   args    := arg (',' arg)*
+//   arg     := [pname '='] value          -- positional or named
+//   value   := uint [ '..' uint ]         -- ranges only in sweep patterns
+//
+// Parsing here is purely syntactic; `FamilyRegistry::canonicalize` resolves
+// positional arguments against the family's declared parameters, fills
+// defaults and validates ranges, and `format_family_spec` of a canonical spec
+// round-trips: parse(format(s)) == s. Canonical text is also the batch
+// engine's cache key.
+//
+// All errors are structured `Diagnostic`s (kSpecUnknownFamily,
+// kSpecUnknownParam, kSpecMissingParam, kSpecBadValue) with the offending
+// parameter name in `detail` — no std::atoi, nothing silently parses as 0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/diagnostics.hpp"
+
+namespace mlvl::api {
+
+/// One named parameter of a spec.
+struct Param {
+  std::string name;
+  std::uint64_t value = 0;
+
+  bool operator==(const Param&) const = default;
+};
+
+/// A fully resolved family instance. After `FamilyRegistry::canonicalize`,
+/// `params` carries every declared parameter, named, in declaration order.
+struct FamilySpec {
+  std::string family;
+  std::vector<Param> params;
+
+  [[nodiscard]] const std::uint64_t* find(std::string_view name) const;
+  [[nodiscard]] std::uint64_t value_or(std::string_view name,
+                                       std::uint64_t fallback) const;
+
+  bool operator==(const FamilySpec&) const = default;
+};
+
+/// One parameter of a sweep pattern: an inclusive value range [lo, hi].
+/// A plain spec is the degenerate case lo == hi. `name` is empty for
+/// positional arguments until canonicalization.
+struct ParamRange {
+  std::string name;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const ParamRange&) const = default;
+};
+
+/// Parsed but not yet registry-resolved spec text, ranges allowed:
+/// `hypercube(n=6..10)` expands to five specs.
+struct FamilyPattern {
+  std::string family;
+  std::vector<ParamRange> params;
+};
+
+/// Parse spec text with ranges allowed. Syntax errors are reported to `sink`
+/// (which may be null) as kSpecBadValue / kSpecUnknownFamily diagnostics.
+[[nodiscard]] std::optional<FamilyPattern> parse_family_pattern(
+    std::string_view text, DiagnosticSink* sink = nullptr);
+
+/// Parse spec text; ranges are rejected (kSpecBadValue). Positional params
+/// keep empty names — pass the result through FamilyRegistry::canonicalize.
+[[nodiscard]] std::optional<FamilySpec> parse_family_spec(
+    std::string_view text, DiagnosticSink* sink = nullptr);
+
+/// Canonical text form: `family(p1=v1,p2=v2)` in stored parameter order.
+[[nodiscard]] std::string format_family_spec(const FamilySpec& spec);
+
+/// Strict unsigned-integer parse (whole string, no sign, overflow checked).
+[[nodiscard]] std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+}  // namespace mlvl::api

@@ -1,0 +1,215 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlvl::api {
+namespace {
+
+void report(DiagnosticSink* sink, Code code, std::string detail) {
+  if (sink == nullptr) return;
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::kError;
+  d.detail = std::move(detail);
+  sink->report(std::move(d));
+}
+
+}  // namespace
+
+FamilyRegistry& FamilyRegistry::instance() {
+  static FamilyRegistry* reg = [] {
+    auto* r = new FamilyRegistry();
+    register_builtin_families(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void FamilyRegistry::add(Family f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_[f.name] = std::move(f);
+}
+
+const Family* FamilyRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  return it != families_.end() ? &it->second : nullptr;
+}
+
+std::vector<const Family*> FamilyRegistry::families() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Family*> out;
+  out.reserve(families_.size());
+  for (const auto& [name, fam] : families_) out.push_back(&fam);
+  return out;  // std::map iterates sorted by name
+}
+
+std::size_t FamilyRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+std::optional<FamilySpec> FamilyRegistry::canonicalize(
+    const FamilySpec& raw, DiagnosticSink* sink) const {
+  const Family* fam = find(raw.family);
+  if (fam == nullptr) {
+    report(sink, Code::kSpecUnknownFamily, raw.family);
+    return std::nullopt;
+  }
+
+  // Resolve positional and named arguments onto the declaration.
+  constexpr std::uint64_t kUnset = ~std::uint64_t{0};
+  std::vector<std::uint64_t> values(fam->params.size(), kUnset);
+  std::size_t next_positional = 0;
+  for (const Param& p : raw.params) {
+    std::size_t slot = fam->params.size();
+    if (p.name.empty()) {
+      // Positional arguments fill declaration slots left to right, skipping
+      // none: mixing `kary(3, n=2)` works because names never rewind.
+      while (next_positional < fam->params.size() &&
+             values[next_positional] != kUnset)
+        ++next_positional;
+      slot = next_positional;
+      if (slot == fam->params.size()) {
+        report(sink, Code::kSpecUnknownParam,
+               raw.family + ": too many positional arguments (takes " +
+                   std::to_string(fam->params.size()) + ")");
+        return std::nullopt;
+      }
+    } else {
+      for (std::size_t i = 0; i < fam->params.size(); ++i)
+        if (fam->params[i].name == p.name) slot = i;
+      if (slot == fam->params.size()) {
+        report(sink, Code::kSpecUnknownParam, raw.family + ": " + p.name);
+        return std::nullopt;
+      }
+    }
+    if (values[slot] != kUnset) {
+      report(sink, Code::kSpecBadValue,
+             raw.family + ": duplicate parameter " + fam->params[slot].name);
+      return std::nullopt;
+    }
+    values[slot] = p.value;
+  }
+
+  // Defaults, presence, ranges.
+  FamilySpec canon;
+  canon.family = fam->name;
+  canon.params.reserve(fam->params.size());
+  for (std::size_t i = 0; i < fam->params.size(); ++i) {
+    const ParamInfo& info = fam->params[i];
+    std::uint64_t v = values[i];
+    if (v == kUnset) {
+      if (info.required) {
+        report(sink, Code::kSpecMissingParam, raw.family + ": " + info.name);
+        return std::nullopt;
+      }
+      v = info.def;
+    }
+    if (v < info.min || v > info.max) {
+      report(sink, Code::kSpecBadValue,
+             raw.family + ": " + info.name + " = " + std::to_string(v) +
+                 " outside [" + std::to_string(info.min) + ", " +
+                 std::to_string(info.max) + "]");
+      return std::nullopt;
+    }
+    canon.params.push_back(Param{info.name, v});
+  }
+  return canon;
+}
+
+std::optional<FamilySpec> FamilyRegistry::parse(std::string_view text,
+                                                DiagnosticSink* sink) const {
+  std::optional<FamilySpec> raw = parse_family_spec(text, sink);
+  if (!raw) return std::nullopt;
+  return canonicalize(*raw, sink);
+}
+
+std::optional<FamilySpec> FamilyRegistry::parse_cli(
+    const std::vector<std::string>& tokens, DiagnosticSink* sink) const {
+  if (tokens.empty()) {
+    report(sink, Code::kSpecUnknownFamily, "empty family spec");
+    return std::nullopt;
+  }
+  FamilySpec raw;
+  raw.family = tokens[0];
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    Param p;
+    std::string_view value = tok;
+    if (const std::size_t eq = tok.find('='); eq != std::string::npos) {
+      p.name = tok.substr(0, eq);
+      value = std::string_view(tok).substr(eq + 1);
+    }
+    std::optional<std::uint64_t> v = parse_uint(value);
+    if (!v) {
+      report(sink, Code::kSpecBadValue,
+             raw.family + ": '" + tok + "' is not an unsigned integer");
+      return std::nullopt;
+    }
+    p.value = *v;
+    raw.params.push_back(std::move(p));
+  }
+  return canonicalize(raw, sink);
+}
+
+std::optional<std::vector<FamilySpec>> FamilyRegistry::expand(
+    std::string_view text, DiagnosticSink* sink, std::size_t limit) const {
+  std::optional<FamilyPattern> pat = parse_family_pattern(text, sink);
+  if (!pat) return std::nullopt;
+
+  // Count the cross product before materializing it.
+  std::size_t total = 1;
+  for (const ParamRange& r : pat->params) {
+    const std::uint64_t span = r.hi - r.lo + 1;
+    if (span > limit || total > limit / static_cast<std::size_t>(span)) {
+      report(sink, Code::kSpecBadValue,
+             pat->family + ": sweep expands past the limit of " +
+                 std::to_string(limit) + " specs");
+      return std::nullopt;
+    }
+    total *= static_cast<std::size_t>(span);
+  }
+
+  // Odometer over the ranges, last parameter fastest, each point
+  // canonicalized (so any out-of-range point fails with its name).
+  std::vector<FamilySpec> out;
+  out.reserve(total);
+  std::vector<std::uint64_t> cur;
+  cur.reserve(pat->params.size());
+  for (const ParamRange& r : pat->params) cur.push_back(r.lo);
+  for (std::size_t made = 0; made < total; ++made) {
+    FamilySpec raw;
+    raw.family = pat->family;
+    for (std::size_t i = 0; i < pat->params.size(); ++i)
+      raw.params.push_back(Param{pat->params[i].name, cur[i]});
+    std::optional<FamilySpec> canon = canonicalize(raw, sink);
+    if (!canon) return std::nullopt;
+    out.push_back(std::move(*canon));
+    for (std::size_t i = pat->params.size(); i-- > 0;) {
+      if (cur[i] < pat->params[i].hi) {
+        ++cur[i];
+        break;
+      }
+      cur[i] = pat->params[i].lo;
+    }
+  }
+  return out;
+}
+
+std::optional<Orthogonal2Layer> FamilyRegistry::build(
+    const FamilySpec& spec, DiagnosticSink* sink) const {
+  std::optional<FamilySpec> canon = canonicalize(spec, sink);
+  if (!canon) return std::nullopt;
+  const Family* fam = find(canon->family);
+  try {
+    return fam->build(*canon);
+  } catch (const std::invalid_argument& ex) {
+    report(sink, Code::kSpecBadValue,
+           format_family_spec(*canon) + ": " + ex.what());
+    return std::nullopt;
+  }
+}
+
+}  // namespace mlvl::api

@@ -1,0 +1,103 @@
+// The family registry — the single dispatch point from a `FamilySpec` to a
+// constructed `Orthogonal2Layer`.
+//
+// Every network family the library can lay out registers once (name, declared
+// parameters with ranges and defaults, a one-line summary, a known-good
+// sample spec, and a build function); every front end — layout_tool,
+// chip_planner, design_explorer, figure_gallery, quickstart, the batch
+// engine, tests — resolves families here instead of hand-writing
+// `if (net == "hypercube") ...` chains.
+//
+// The built-in families (the paper's Secs. 3-5) are registered on first use
+// of `instance()`; `add` lets applications register their own. Lookup and
+// build are safe to call from the batch engine's worker threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/family_spec.hpp"
+#include "core/orthogonal.hpp"
+
+namespace mlvl::api {
+
+/// Declared parameter of a family: name, valid range, default. A required
+/// parameter has no default and must appear in every spec.
+struct ParamInfo {
+  std::string name;
+  std::uint64_t min = 1;
+  std::uint64_t max = 1u << 20;
+  bool required = true;
+  std::uint64_t def = 0;  ///< used when !required and the spec omits it
+};
+
+/// One registered family. `build` receives a canonical spec (every declared
+/// parameter present and range-checked) and may still throw
+/// std::invalid_argument for constraints the declaration cannot express.
+struct Family {
+  std::string name;
+  std::string summary;
+  std::vector<ParamInfo> params;
+  std::string sample;  ///< known-good canonical spec, e.g. "hypercube(n=4)"
+  std::function<Orthogonal2Layer(const FamilySpec&)> build;
+};
+
+class FamilyRegistry {
+ public:
+  /// The process-wide registry, with all built-in families registered.
+  [[nodiscard]] static FamilyRegistry& instance();
+
+  /// Register (or replace) a family.
+  void add(Family f);
+
+  [[nodiscard]] const Family* find(std::string_view name) const;
+  /// All families, sorted by name.
+  [[nodiscard]] std::vector<const Family*> families() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Resolve a syntactic spec against the declared parameters: positional
+  /// arguments are matched in declaration order, named arguments by name,
+  /// defaults fill the gaps, values are range-checked, and the result lists
+  /// every parameter named in declaration order (the canonical form).
+  [[nodiscard]] std::optional<FamilySpec> canonicalize(
+      const FamilySpec& raw, DiagnosticSink* sink = nullptr) const;
+
+  /// parse_family_spec + canonicalize.
+  [[nodiscard]] std::optional<FamilySpec> parse(
+      std::string_view text, DiagnosticSink* sink = nullptr) const;
+
+  /// CLI form: tokens[0] is the family, the rest are positional values or
+  /// name=value pairs (`layout_tool hypercube 6`).
+  [[nodiscard]] std::optional<FamilySpec> parse_cli(
+      const std::vector<std::string>& tokens,
+      DiagnosticSink* sink = nullptr) const;
+
+  /// Expand a sweep pattern (`hypercube(n=6..10)`) into canonical specs,
+  /// cross-product over ranged parameters in declaration order. Fails with
+  /// kSpecBadValue if the expansion would exceed `limit`.
+  [[nodiscard]] std::optional<std::vector<FamilySpec>> expand(
+      std::string_view text, DiagnosticSink* sink = nullptr,
+      std::size_t limit = 65536) const;
+
+  /// Canonicalize + construct. Build-time std::invalid_argument is reported
+  /// as kSpecBadValue instead of escaping.
+  [[nodiscard]] std::optional<Orthogonal2Layer> build(
+      const FamilySpec& spec, DiagnosticSink* sink = nullptr) const;
+
+ private:
+  FamilyRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+/// Defined in families.cpp: registers the paper's 14 built-in families.
+void register_builtin_families(FamilyRegistry& reg);
+
+}  // namespace mlvl::api

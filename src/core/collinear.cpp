@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
@@ -11,8 +12,13 @@ namespace {
 
 /// Optimal track assignment for the complete graph K_r on nodes 0..r-1 placed
 /// in identity order; memoized per radix. Track count is floor(r^2/4).
+/// Guarded by a mutex: the batch engine builds families on worker threads.
+/// Map nodes are stable and values immutable once inserted, so the returned
+/// reference stays valid after the lock is released.
 const std::vector<std::uint32_t>& complete_tracks(std::uint32_t r) {
+  static std::mutex mu;
   static std::map<std::uint32_t, std::vector<std::uint32_t>> cache;
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(r);
   if (it != cache.end()) return it->second;
   std::vector<Interval> ivs;

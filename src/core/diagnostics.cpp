@@ -53,6 +53,11 @@ const char* code_name(Code c) {
     case Code::kLintRedundantVia: return "redundant-via";
     case Code::kLintDeadTrack: return "dead-track";
     case Code::kLintBboxSlack: return "bbox-slack";
+    case Code::kSpecUnknownFamily: return "spec-unknown-family";
+    case Code::kSpecUnknownParam: return "spec-unknown-param";
+    case Code::kSpecMissingParam: return "spec-missing-param";
+    case Code::kSpecBadValue: return "spec-bad-value";
+    case Code::kSpecBadLayerCount: return "spec-bad-layer-count";
   }
   return "unknown";
 }
@@ -191,6 +196,21 @@ std::string Diagnostic::to_string() const {
       break;
     case Code::kLintBboxSlack:
       s = "bounding box not tight to content";
+      break;
+    case Code::kSpecUnknownFamily:
+      s = "unknown network family";
+      break;
+    case Code::kSpecUnknownParam:
+      s = "unknown parameter";
+      break;
+    case Code::kSpecMissingParam:
+      s = "missing required parameter";
+      break;
+    case Code::kSpecBadValue:
+      s = "bad parameter value";
+      break;
+    case Code::kSpecBadLayerCount:
+      s = "layer count must be between 2 and 1024";
       break;
   }
   if (line != 0) s = "line " + std::to_string(line) + ": " + s;

@@ -66,6 +66,13 @@ enum class Code : std::uint16_t {
   kLintRedundantVia,    ///< overlapping same-edge vias at one (x, y)
   kLintDeadTrack,       ///< fully unused row/column inside the content box
   kLintBboxSlack,       ///< declared bounding box not tight to content
+
+  // Family-spec / API boundary (src/api). `detail` names the parameter.
+  kSpecUnknownFamily,   ///< family name not in the registry
+  kSpecUnknownParam,    ///< parameter name not declared by the family
+  kSpecMissingParam,    ///< required parameter absent from the spec
+  kSpecBadValue,        ///< malformed or out-of-range parameter value
+  kSpecBadLayerCount,   ///< RealizeOptions::L outside [2, 1024]
 };
 
 enum class Severity : std::uint8_t { kWarning, kError };

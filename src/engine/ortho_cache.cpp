@@ -1,0 +1,43 @@
+#include "engine/ortho_cache.hpp"
+
+namespace mlvl::engine {
+
+OrthoCache::Ptr OrthoCache::get_or_build(
+    const std::string& key, const std::function<Orthogonal2Layer()>& build,
+    bool* hit) {
+  std::shared_future<Ptr> fut;
+  std::promise<Ptr> mine;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      fut = it->second;
+    } else {
+      fut = mine.get_future().share();
+      map_.emplace(key, fut);
+      builder = true;
+    }
+  }
+  if (hit != nullptr) *hit = !builder;
+  if (!builder) return fut.get();  // blocks until the builder finishes
+
+  try {
+    mine.set_value(std::make_shared<const Orthogonal2Layer>(build()));
+  } catch (...) {
+    mine.set_exception(std::current_exception());
+  }
+  return fut.get();
+}
+
+std::size_t OrthoCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void OrthoCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+}  // namespace mlvl::engine

@@ -1,0 +1,44 @@
+// Concurrent build-once cache of orthogonal layouts, keyed by canonical
+// family-spec text.
+//
+// The expensive half of a layout job — topology generation, collinear
+// factors, placement, interval/track assignment — depends only on the family
+// spec, not on the layer count, so a sweep of one topology over many L
+// should build the `Orthogonal2Layer` exactly once. `get_or_build` guarantees
+// that under concurrency: the first caller for a key becomes the builder,
+// every other caller blocks on a shared future of the same result. A build
+// that throws poisons its entry (all waiters see the exception), keeping
+// failures deterministic per spec.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/orthogonal.hpp"
+
+namespace mlvl::engine {
+
+class OrthoCache {
+ public:
+  using Ptr = std::shared_ptr<const Orthogonal2Layer>;
+
+  /// Returns the layout for `key`, invoking `build` at most once per key
+  /// across all threads. `*hit` (optional) is false only for the caller that
+  /// actually built. Rethrows the builder's exception for every caller.
+  Ptr get_or_build(const std::string& key,
+                   const std::function<Orthogonal2Layer()>& build,
+                   bool* hit = nullptr);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<Ptr>> map_;
+};
+
+}  // namespace mlvl::engine

@@ -1,0 +1,188 @@
+#include "engine/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mlvl::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Build through the registry, converting its structured failure into an
+/// exception so the cache can poison the entry for every waiter.
+Orthogonal2Layer build_family_or_throw(const api::FamilySpec& spec) {
+  DiagnosticSink sink(4);
+  std::optional<Orthogonal2Layer> o =
+      api::FamilyRegistry::instance().build(spec, &sink);
+  if (!o) {
+    throw std::invalid_argument(sink.first() != nullptr
+                                    ? sink.first()->to_string()
+                                    : "family build failed");
+  }
+  return std::move(*o);
+}
+
+}  // namespace
+
+bool SweepReport::all_ok() const {
+  for (const JobResult& j : jobs)
+    if (!j.ok) return false;
+  return true;
+}
+
+SweepTotals SweepReport::totals() const {
+  SweepTotals t;
+  for (const JobResult& j : jobs) {
+    if (!j.ok) {
+      ++t.failed;
+      continue;
+    }
+    ++t.ok;
+    t.area += j.metrics.area;
+    t.volume += j.metrics.volume;
+    t.wire_length += j.metrics.total_wire_length;
+    t.vias += j.metrics.via_count;
+    if (j.metrics.max_wire_length > t.max_wire)
+      t.max_wire = j.metrics.max_wire_length;
+  }
+  return t;
+}
+
+double SweepReport::utilization() const {
+  const double denom = static_cast<double>(threads) * wall_ms;
+  return denom > 0 ? busy_ms / denom : 0;
+}
+
+BatchLayoutEngine::BatchLayoutEngine(SweepOptions opt) : opt_(opt) {}
+
+SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
+  obs::Span sweep_span("engine.sweep");
+  obs::counter_add("engine.jobs.submitted", jobs.size());
+  const Clock::time_point t0 = Clock::now();
+
+  SweepReport report;
+  report.jobs.resize(jobs.size());
+
+  // Canonicalize every spec up front, serially: deterministic, cheap, and a
+  // bad spec fails its slot without ever occupying a worker.
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  std::vector<std::string> keys(jobs.size());
+  std::vector<bool> runnable(jobs.size(), false);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JobResult& r = report.jobs[i];
+    r.spec = jobs[i].spec;
+    r.L = jobs[i].options.L;
+    DiagnosticSink sink(4);
+    std::optional<api::FamilySpec> canon =
+        reg.canonicalize(jobs[i].spec, &sink);
+    if (!canon) {
+      r.error = sink.first() != nullptr ? sink.first()->to_string()
+                                        : "bad family spec";
+      continue;
+    }
+    if (!api::validate_options(jobs[i].options, &sink)) {
+      r.spec = std::move(*canon);
+      r.error = sink.first()->to_string();
+      continue;
+    }
+    r.spec = std::move(*canon);
+    keys[i] = api::format_family_spec(r.spec);
+    runnable[i] = true;
+  }
+
+  unsigned threads = opt_.threads != 0 ? opt_.threads
+                                       : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > jobs.size()) threads = static_cast<unsigned>(jobs.size());
+  if (threads == 0) threads = 1;
+  report.threads = threads;
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      JobResult& r = report.jobs[i];
+      if (!runnable[i]) {
+        obs::counter_add("engine.jobs.failed");
+        continue;
+      }
+      r.queue_wait_ms = ms_since(t0);
+      obs::histogram_record("engine.queue_wait_ms", r.queue_wait_ms);
+      const Clock::time_point job_t0 = Clock::now();
+      {
+        obs::Span job_span("engine.job");
+        try {
+          OrthoCache::Ptr ortho;
+          bool hit = false;
+          if (opt_.use_cache) {
+            ortho = cache_.get_or_build(
+                keys[i], [&] { return build_family_or_throw(r.spec); }, &hit);
+          } else {
+            ortho = std::make_shared<const Orthogonal2Layer>(
+                build_family_or_throw(r.spec));
+          }
+          r.cache_hit = hit;
+          obs::counter_add(hit ? "engine.cache.hit" : "engine.cache.miss");
+
+          api::LayoutRequest req;
+          req.spec = r.spec;
+          req.options = jobs[i].options;
+          req.check = opt_.check;
+          api::LayoutResult res = api::run_layout(*ortho, req, nullptr);
+          r.ok = res.ok;
+          r.error = std::move(res.error);
+          r.nodes = res.nodes;
+          r.edges = res.edges;
+          r.metrics = std::move(res.metrics);
+        } catch (const std::exception& ex) {
+          r.ok = false;
+          r.error = ex.what();
+        }
+      }
+      r.run_ms = ms_since(job_t0);
+      obs::histogram_record("engine.job_ms", r.run_ms);
+      obs::counter_add(r.ok ? "engine.jobs.completed" : "engine.jobs.failed");
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_ms = ms_since(t0);
+  for (const JobResult& j : report.jobs) report.busy_ms += j.run_ms;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    if (!runnable[i]) continue;
+    if (report.jobs[i].cache_hit)
+      ++report.cache_hits;
+    else
+      ++report.cache_misses;
+  }
+  obs::gauge_set("engine.threads", threads);
+  obs::gauge_set("engine.wall_ms", report.wall_ms);
+  obs::gauge_set("engine.utilization", report.utilization());
+  return report;
+}
+
+SweepReport run_sweep(const std::vector<SweepJob>& jobs,
+                      const SweepOptions& opt) {
+  BatchLayoutEngine eng(opt);
+  return eng.run(jobs);
+}
+
+}  // namespace mlvl::engine

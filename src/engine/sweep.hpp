@@ -1,0 +1,105 @@
+// Parallel batch layout engine.
+//
+// `BatchLayoutEngine::run` takes a list of jobs (canonical family spec ×
+// RealizeOptions), executes the full pipeline per job — topology, collinear
+// factors, placement, interval assignment, multilayer realization, geometric
+// check, metrics — on a pool of worker threads, and returns per-job results
+// **in submission order regardless of completion order**, so a parallel
+// sweep's output is byte-identical to a serial one.
+//
+// The expensive spec-only half of each job is deduplicated through an
+// `OrthoCache` keyed by canonical spec text: sweeping one topology over many
+// layer counts builds the orthogonal layout once and realizes it per L. The
+// cache persists across `run` calls, making the engine a long-lived service.
+//
+// Observability: the whole batch runs under an "engine.sweep" span with one
+// nested "engine.job" span per job; counters engine.jobs.submitted /
+// .completed / .failed and engine.cache.hit / .miss, histograms
+// engine.queue_wait_ms / engine.job_ms, and gauges engine.threads /
+// engine.wall_ms / engine.utilization feed the installed MetricsRegistry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/layout_api.hpp"
+#include "engine/ortho_cache.hpp"
+
+namespace mlvl::engine {
+
+/// One unit of work: a family at one set of realize options.
+struct SweepJob {
+  api::FamilySpec spec;
+  RealizeOptions options{};
+};
+
+/// Outcome of one job, in submission order. Timings are informational and
+/// vary run to run; everything else is deterministic.
+struct JobResult {
+  api::FamilySpec spec;       ///< canonical form
+  std::uint32_t L = 0;
+  bool ok = false;
+  bool cache_hit = false;     ///< orthogonal layout came from the cache
+  std::string error;          ///< first failure; empty when ok
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  LayoutMetrics metrics;
+  double queue_wait_ms = 0;   ///< batch start -> job pickup
+  double run_ms = 0;          ///< job pickup -> completion
+};
+
+struct SweepOptions {
+  unsigned threads = 0;  ///< worker count; 0 = hardware concurrency
+  bool check = true;     ///< run the geometric checker per job
+  bool use_cache = true; ///< share Orthogonal2Layer across same-spec jobs
+};
+
+/// Deterministic sums over the per-job metrics, in submission order.
+struct SweepTotals {
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t area = 0;
+  std::uint64_t volume = 0;
+  std::uint64_t wire_length = 0;
+  std::uint64_t vias = 0;
+  std::uint64_t max_wire = 0;  ///< max over jobs
+};
+
+struct SweepReport {
+  std::vector<JobResult> jobs;  ///< submission order, always
+  unsigned threads = 1;
+  double wall_ms = 0;
+  double busy_ms = 0;           ///< sum of per-job run times
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  [[nodiscard]] bool all_ok() const;
+  [[nodiscard]] SweepTotals totals() const;
+  /// busy / (threads * wall); 1.0 = every worker busy the whole batch.
+  [[nodiscard]] double utilization() const;
+};
+
+class BatchLayoutEngine {
+ public:
+  explicit BatchLayoutEngine(SweepOptions opt = {});
+
+  /// Run one batch. Specs are canonicalized up front (bad specs become
+  /// failed results without occupying a worker); results come back in
+  /// submission order. The topology cache carries over to the next batch.
+  [[nodiscard]] SweepReport run(const std::vector<SweepJob>& jobs);
+
+  [[nodiscard]] const SweepOptions& options() const { return opt_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  SweepOptions opt_;
+  OrthoCache cache_;
+};
+
+/// One-shot convenience over a temporary engine.
+[[nodiscard]] SweepReport run_sweep(const std::vector<SweepJob>& jobs,
+                                    const SweepOptions& opt = {});
+
+}  // namespace mlvl::engine

@@ -338,6 +338,7 @@ TEST(UsageText, NamesTheInstalledBinaryAndEveryFlagFamily) {
        {"--doctor", "--lint", "--trace", "--metrics", "--quiet", "-q", "-v",
         "-L <layers>", "-svg", "-congestion", "-nocheck", "-repair",
         "-baseline", "-save-baseline", "-disable", "-transparent",
+        "sweep <spec-range>", "-j <N>", "-nocache", "hypercube(n=4..8)",
         "exit codes: 0 valid, 1 invalid, 2 parse error, 3 usage"})
     EXPECT_NE(usage.find(needle), std::string::npos)
         << "usage text lost: " << needle;
