@@ -134,6 +134,7 @@ BENCHMARK(BM_StructuredStar)->Arg(5)->Arg(6);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   ablation_tracks();
   ablation_ordering();
   ablation_extras();

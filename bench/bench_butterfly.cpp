@@ -63,6 +63,7 @@ BENCHMARK(BM_LayoutButterfly)->Arg(5)->Arg(7)->Arg(9);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -92,6 +92,7 @@ BENCHMARK(BM_GenericStar)->Arg(4)->Arg(5)->Arg(6);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -84,6 +84,7 @@ BENCHMARK(BM_LayoutCcc)->Arg(4)->Arg(6)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -97,6 +97,7 @@ BENCHMARK(BM_RealizeHypercube)->Arg(2)->Arg(8)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_claims();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

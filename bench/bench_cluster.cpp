@@ -68,6 +68,7 @@ BENCHMARK(BM_LayoutCluster)->Args({4, 4})->Args({8, 8})->Args({8, 16});
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -89,4 +89,10 @@ BENCHMARK(BM_EndToEndCcc)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -90,6 +90,7 @@ BENCHMARK(BM_FoldedRealize)->Arg(6)->Arg(8)->Arg(10);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

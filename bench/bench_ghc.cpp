@@ -99,6 +99,7 @@ BENCHMARK(BM_LayoutGhc)->Arg(4)->Arg(8)->Arg(12);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -72,6 +72,7 @@ BENCHMARK(BM_LayoutHsn)->Args({2, 8})->Args({3, 4})->Args({2, 16});
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

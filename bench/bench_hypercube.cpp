@@ -70,6 +70,7 @@ BENCHMARK(BM_RealizeAndCheckHypercube)->Arg(6)->Arg(8)->Unit(benchmark::kMillise
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -93,6 +93,7 @@ BENCHMARK(BM_LayoutIsn)->Args({3, 4})->Args({3, 6})->Args({4, 3});
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -123,6 +123,7 @@ BENCHMARK(BM_RealizeKary)->Args({4, 4, 2})->Args({4, 4, 8})->Args({8, 3, 8});
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

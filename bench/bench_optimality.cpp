@@ -109,6 +109,7 @@ BENCHMARK(BM_HeuristicBisection)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

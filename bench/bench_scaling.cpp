@@ -61,6 +61,7 @@ BENCHMARK(BM_RealizeWithNodeSize)->Arg(16)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -5,11 +5,12 @@
 // measured work is 5 orthogonal builds plus 35 realize+metrics passes.
 //
 // Two rows land in BENCH_mlvl.json: family "sweep-serial" and
-// "sweep-parallel" (nodes = job count, wall_ms = best batch time), so CI can
-// track the parallel speedup across revisions.
+// "sweep-parallel" (nodes = job count, wall_ms = median batch time over the
+// iterations google-benchmark ran), so CI can track the parallel speedup
+// across revisions.
 #include <benchmark/benchmark.h>
 
-#include <limits>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -32,12 +33,14 @@ std::vector<engine::SweepJob> acceptance_grid() {
 }
 
 /// Run one batch per iteration on a fresh engine (cold cache — the cache
-/// warm-up is part of what the sweep amortizes) and record the best wall
-/// time under `family`.
+/// warm-up is part of what the sweep amortizes) and record the repeat
+/// statistics of the batch wall time under `family`. Every iteration is one
+/// sample; google-benchmark decides the iteration count, so the recorded
+/// spread reflects however many batches actually ran.
 void sweep_batch(benchmark::State& state, const char* family,
                  unsigned threads) {
   const std::vector<engine::SweepJob> jobs = acceptance_grid();
-  double best_ms = std::numeric_limits<double>::infinity();
+  std::vector<double> samples;
   for (auto _ : state) {
     engine::SweepReport r =
         engine::run_sweep(jobs, {.threads = threads, .check = false});
@@ -46,12 +49,16 @@ void sweep_batch(benchmark::State& state, const char* family,
       return;
     }
     benchmark::DoNotOptimize(r.totals().area);
-    if (r.wall_ms < best_ms) best_ms = r.wall_ms;
+    samples.push_back(r.wall_ms);
     state.counters["utilization"] = r.utilization();
   }
   state.SetItemsProcessed(state.iterations() * std::int64_t(jobs.size()));
-  bench::BenchRecorder::instance().add(
-      {family, 0, jobs.size(), best_ms, 0, 0, 0, 0, 0});
+  bench::BenchRecord rec;
+  rec.family = family;
+  rec.L = 0;
+  rec.nodes = jobs.size();
+  bench::apply_wall_stats(rec, std::move(samples));
+  bench::BenchRecorder::instance().add(std::move(rec));
 }
 
 void BM_SweepSerial(benchmark::State& state) {
@@ -68,4 +75,10 @@ BENCHMARK(BM_SweepParallel)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mlvl::bench::parse_bench_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,11 +3,21 @@
 // baseline recorder.
 //
 // Every `measure()` call that names a family contributes one record to
-// `BENCH_mlvl.json` ({family, L, nodes, wall_ms, area, wiring_area, volume,
-// max_wire, vias}). The file is merge-on-write — each bench binary updates
-// its own families and preserves the rest — so running the whole suite
-// produces one consolidated baseline for CI to archive and diff.
-// `MLVL_BENCH_JSON` overrides the output path (default: ./BENCH_mlvl.json).
+// `BENCH_mlvl.json` ({family, L, nodes, wall statistics, area, wiring_area,
+// volume, max_wire, vias}). Wall times are no longer one-shot: each bench
+// point runs `warmup()` discarded iterations followed by `repeats()`
+// measured ones and records {median, min, max, p95, stddev, repeats}
+// (schema "mlvl-bench-v2", with `wall_ms` = median so v1 consumers keep
+// working). The file also carries an `env` block (compiler, build type,
+// flags, core count) so the bench-diff comparator can flag cross-toolchain
+// comparisons. The file is merge-on-write — each bench binary updates its
+// own families and preserves the rest — so running the whole suite produces
+// one consolidated baseline for CI to gate on with `layout_tool bench-diff`.
+//
+// Knobs: `--repeats N` / `--warmup N` (strip with `parse_bench_flags` before
+// benchmark::Initialize) or the MLVL_BENCH_REPEATS / MLVL_BENCH_WARMUP
+// environment variables. `MLVL_BENCH_JSON` overrides the output path
+// (default: ./BENCH_mlvl.json).
 #pragma once
 
 #include <chrono>
@@ -20,6 +30,7 @@
 #include <string>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "analysis/report.hpp"
 #include "core/checker.hpp"
@@ -27,6 +38,7 @@
 #include "core/metrics.hpp"
 #include "core/multilayer.hpp"
 #include "core/orthogonal.hpp"
+#include "obs/stats.hpp"
 
 namespace mlvl::bench {
 
@@ -35,15 +47,72 @@ struct Measured {
   LayoutMetrics metrics;
 };
 
+/// Repeat configuration for every measure() call in this process.
+/// Defaults come from MLVL_BENCH_REPEATS / MLVL_BENCH_WARMUP; `--repeats` /
+/// `--warmup` (via parse_bench_flags) override both.
+struct BenchConfig {
+  std::uint32_t repeats = 3;
+  std::uint32_t warmup = 1;
+};
+
+inline BenchConfig& config() {
+  static BenchConfig cfg = [] {
+    BenchConfig c;
+    auto env_u32 = [](const char* name, std::uint32_t fallback) {
+      const char* v = std::getenv(name);
+      if (v == nullptr || *v == '\0') return fallback;
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      return end != v && *end == '\0' && n >= 1 && n <= 1000
+                 ? static_cast<std::uint32_t>(n)
+                 : fallback;
+    };
+    c.repeats = env_u32("MLVL_BENCH_REPEATS", c.repeats);
+    c.warmup = env_u32("MLVL_BENCH_WARMUP", c.warmup);
+    return c;
+  }();
+  return cfg;
+}
+
+/// Strip `--repeats N` / `--warmup N` from argv (benchmark::Initialize
+/// rejects flags it does not know) and apply them to config(). Call first
+/// thing in main. Malformed values are ignored rather than fatal — a bench
+/// binary must never refuse to run over a harness knob.
+inline void parse_bench_flags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool is_repeats = arg == "--repeats";
+    const bool is_warmup = arg == "--warmup";
+    if ((is_repeats || is_warmup) && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(argv[i + 1], &end, 10);
+      if (end != argv[i + 1] && *end == '\0' && n >= 1 && n <= 1000) {
+        (is_repeats ? config().repeats : config().warmup) =
+            static_cast<std::uint32_t>(n);
+      }
+      ++i;  // consume the value either way
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+}
+
 /// One consolidated-baseline row: the paper's cost quantities for one
-/// (family, L, N) point plus the wall time of realize + compute_metrics
-/// (verification is excluded — it is quadratic and not part of the layout
-/// algorithm being baselined).
+/// (family, L, N) point plus repeat statistics of the wall time of
+/// realize + compute_metrics (verification is excluded — it is quadratic
+/// and not part of the layout algorithm being baselined).
 struct BenchRecord {
   std::string family;
   std::uint32_t L = 0;
   std::uint64_t nodes = 0;
-  double wall_ms = 0;
+  double wall_ms = 0;         ///< median over repeats
+  double wall_min_ms = 0;
+  double wall_max_ms = 0;
+  double wall_p95_ms = 0;
+  double wall_stddev_ms = 0;
+  std::uint32_t repeats = 1;
   std::uint64_t area = 0;
   std::uint64_t wiring_area = 0;
   std::uint64_t volume = 0;
@@ -90,14 +159,24 @@ class BenchRecorder {
 
     std::ofstream os(path());
     if (!os) return false;
-    os << "{\n  \"schema\": \"mlvl-bench-v1\",\n  \"records\": [";
+    const obs::BuildEnv env = obs::capture_build_env();
+    os << "{\n  \"schema\": \"mlvl-bench-v2\",\n";
+    os << "  \"env\": {\"compiler\": \"" << env.compiler
+       << "\", \"build_type\": \"" << env.build_type << "\", \"flags\": \""
+       << env.flags << "\", \"cores\": " << env.cores << "},\n";
+    os << "  \"records\": [";
     bool first = true;
     for (const auto& [k, r] : merged) {
       os << (first ? "\n" : ",\n");
       first = false;
       os << "    {\"family\": \"" << r.family << "\", \"L\": " << r.L
          << ", \"nodes\": " << r.nodes << ", \"wall_ms\": " << r.wall_ms
-         << ", \"area\": " << r.area << ", \"wiring_area\": " << r.wiring_area
+         << ", \"wall_min_ms\": " << r.wall_min_ms
+         << ", \"wall_max_ms\": " << r.wall_max_ms
+         << ", \"wall_p95_ms\": " << r.wall_p95_ms
+         << ", \"wall_stddev_ms\": " << r.wall_stddev_ms
+         << ", \"repeats\": " << r.repeats << ", \"area\": " << r.area
+         << ", \"wiring_area\": " << r.wiring_area
          << ", \"volume\": " << r.volume << ", \"max_wire\": " << r.max_wire
          << ", \"vias\": " << r.vias << "}";
     }
@@ -128,6 +207,12 @@ class BenchRecorder {
     r.L = static_cast<std::uint32_t>(num("L"));
     r.nodes = static_cast<std::uint64_t>(num("nodes"));
     r.wall_ms = num("wall_ms");
+    // v1 records carry a single wall_ms; degrade to one-sample statistics.
+    r.wall_min_ms = num("wall_min_ms", r.wall_ms);
+    r.wall_max_ms = num("wall_max_ms", r.wall_ms);
+    r.wall_p95_ms = num("wall_p95_ms", r.wall_ms);
+    r.wall_stddev_ms = num("wall_stddev_ms", 0);
+    r.repeats = static_cast<std::uint32_t>(num("repeats", 1));
     r.area = static_cast<std::uint64_t>(num("area"));
     r.wiring_area = static_cast<std::uint64_t>(num("wiring_area"));
     r.volume = static_cast<std::uint64_t>(num("volume"));
@@ -140,19 +225,49 @@ class BenchRecorder {
   bool dirty_ = false;
 };
 
-/// Realize at L layers, verify the geometry, and compute metrics. Throws if
-/// the checker rejects the layout — a bench must never report numbers from
-/// invalid geometry. When `family` is non-null the timed result is also
-/// recorded into the consolidated BENCH_mlvl.json baseline.
+/// Fill a BenchRecord's wall statistics from repeat samples.
+inline void apply_wall_stats(BenchRecord& rec, std::vector<double> samples) {
+  const obs::SampleStats s = obs::summarize(std::move(samples));
+  rec.wall_ms = s.median;
+  rec.wall_min_ms = s.min;
+  rec.wall_max_ms = s.max;
+  rec.wall_p95_ms = s.p95;
+  rec.wall_stddev_ms = s.stddev;
+  rec.repeats = s.repeats;
+}
+
+/// Realize at L layers, verify the geometry, and compute metrics. The timed
+/// region (realize + compute_metrics) runs config().warmup discarded
+/// iterations then config().repeats measured ones; the returned layout and
+/// metrics are from the final iteration. Throws if the checker rejects the
+/// layout — a bench must never report numbers from invalid geometry. When
+/// `family` is non-null the repeat statistics are recorded into the
+/// consolidated BENCH_mlvl.json baseline.
 inline Measured measure(const Orthogonal2Layer& o, std::uint32_t L,
                         bool verify = true, bool pack_extras = true,
                         const char* family = nullptr) {
+  const BenchConfig& cfg = config();
+  const RealizeOptions opts{.L = L, .node_size = 0,
+                            .pack_extras = pack_extras};
   Measured r;
-  const auto t0 = std::chrono::steady_clock::now();
-  r.ml = realize(o, RealizeOptions{.L = L, .node_size = 0,
-                                   .pack_extras = pack_extras});
-  r.metrics = compute_metrics(r.ml, o.graph);
-  const auto t1 = std::chrono::steady_clock::now();
+  // Anonymous measurements skip warmup/repeats: they are used inside
+  // google-benchmark loops, which do their own repetition.
+  const std::uint32_t warmup = family != nullptr ? cfg.warmup : 0;
+  const std::uint32_t repeats = family != nullptr ? cfg.repeats : 1;
+  for (std::uint32_t i = 0; i < warmup; ++i) {
+    r.ml = realize(o, opts);
+    r.metrics = compute_metrics(r.ml, o.graph);
+  }
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (std::uint32_t i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    r.ml = realize(o, opts);
+    r.metrics = compute_metrics(r.ml, o.graph);
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
   if (verify) {
     CheckResult res = check_layout(o.graph, r.ml);
     if (!res.ok) throw std::runtime_error("bench: invalid layout: " + res.error);
@@ -162,8 +277,7 @@ inline Measured measure(const Orthogonal2Layer& o, std::uint32_t L,
     rec.family = family;
     rec.L = L;
     rec.nodes = o.graph.num_nodes();
-    rec.wall_ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    apply_wall_stats(rec, std::move(samples));
     rec.area = r.metrics.area;
     rec.wiring_area = r.metrics.wiring_area;
     rec.volume = r.metrics.volume;

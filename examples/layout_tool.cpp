@@ -8,7 +8,10 @@
 // And the sweeper: `sweep` expands family patterns like hypercube(n=6..10)
 // across an -L range and runs every job on the parallel batch engine, with
 // results printed in submission order (so -j 8 output is byte-identical to
-// -j 1).
+// -j 1). And the perf gate: `bench-diff` compares a fresh BENCH_mlvl.json
+// against the committed baseline with noise-aware thresholds and fails the
+// build on regressions; `--metrics-interval` samples the metrics registry
+// periodically into a time-series JSON during long runs.
 //
 // Families are resolved through api::FamilyRegistry — the single dispatch
 // point shared by every front end — not a per-tool if-else chain.
@@ -41,7 +44,9 @@
 #include "core/svg.hpp"
 #include "engine/sweep.hpp"
 #include "layout_tool_usage.hpp"
+#include "obs/bench_compare.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "robustness/repair.hpp"
 
@@ -60,10 +65,18 @@ constexpr int kExitUsage = 3;
 struct CommonOptions {
   std::string trace_path;
   std::string metrics_path;
+  std::uint32_t metrics_interval_ms = 0;  ///< 0 = no periodic sampling
   int verbosity = 1;
 
   [[nodiscard]] bool obs_enabled() const {
-    return !trace_path.empty() || !metrics_path.empty();
+    return !trace_path.empty() || !metrics_path.empty() ||
+           metrics_interval_ms != 0;
+  }
+  /// Where the --metrics-interval time series lands: next to the --metrics
+  /// file when one was named, else ./metrics_series.json.
+  [[nodiscard]] std::string series_path() const {
+    return metrics_path.empty() ? "metrics_series.json"
+                                : metrics_path + ".series.json";
   }
   [[nodiscard]] bool loud(int level = 1) const { return verbosity >= level; }
 };
@@ -85,6 +98,11 @@ bool extract_common(std::vector<std::string>& args, CommonOptions& opt) {
     } else if (args[i] == "--metrics") {
       if (i + 1 >= args.size()) return false;
       opt.metrics_path = args[++i];
+    } else if (args[i] == "--metrics-interval") {
+      if (i + 1 >= args.size()) return false;
+      std::optional<std::uint64_t> ms = api::parse_uint(args[++i]);
+      if (!ms || *ms == 0 || *ms > 3600000) return false;
+      opt.metrics_interval_ms = static_cast<std::uint32_t>(*ms);
     } else if (args[i] == "--quiet" || args[i] == "-q") {
       opt.verbosity = 0;
     } else if (args[i] == "-v") {
@@ -520,6 +538,89 @@ int run_layout(const std::vector<std::string>& args,
   return kExitValid;
 }
 
+/// `bench-diff` mode: compare a fresh BENCH_mlvl.json against the committed
+/// baseline with noise-aware thresholds. Exit contract: 0 clean, 1 any
+/// regressed (key, metric), 2 unreadable input, 3 usage. `--save-baseline`
+/// refreshes the baseline file from the current run instead of diffing.
+int run_bench_diff(const std::vector<std::string>& args,
+                   const CommonOptions& copt) {
+  std::string baseline_path, current_path, json_path;
+  bool save_baseline = false;
+  obs::DiffOptions opt;
+  auto parse_double = [](const std::string& text, double& out) {
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < 0) return false;
+    out = v;
+    return true;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--max-regress" && i + 1 < args.size()) {
+      if (!parse_double(args[++i], opt.max_regress_pct)) return usage();
+    } else if (args[i] == "--noise-floor" && i + 1 < args.size()) {
+      if (!parse_double(args[++i], opt.noise_floor_ms)) return usage();
+    } else if (args[i] == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else if (args[i] == "--save-baseline") {
+      save_baseline = true;
+    } else if (!args[i].empty() && args[i][0] != '-') {
+      if (baseline_path.empty())
+        baseline_path = args[i];
+      else if (current_path.empty())
+        current_path = args[i];
+      else
+        return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return usage();
+
+  std::string err;
+  std::optional<obs::BenchFile> current =
+      obs::load_bench_file(current_path, &err);
+  if (!current) {
+    std::cerr << "bench-diff: " << err << "\n";
+    return kExitParseError;
+  }
+
+  if (save_baseline) {
+    // The current file just parsed clean; copy its bytes over the baseline.
+    std::ifstream is(current_path, std::ios::binary);
+    std::ofstream os(baseline_path, std::ios::binary);
+    os << is.rdbuf();
+    if (!is || !os) {
+      std::cerr << "bench-diff: failed to write " << baseline_path << "\n";
+      return kExitParseError;
+    }
+    if (copt.loud())
+      std::cout << "bench-diff: baseline " << baseline_path
+                << " refreshed from " << current_path << " ("
+                << current->points.size() << " record(s))\n";
+    return kExitValid;
+  }
+
+  std::optional<obs::BenchFile> baseline =
+      obs::load_bench_file(baseline_path, &err);
+  if (!baseline) {
+    std::cerr << "bench-diff: " << err << "\n";
+    return kExitParseError;
+  }
+
+  obs::DiffReport report = obs::diff_bench(*baseline, *current, opt);
+  if (copt.loud()) report.write_text(std::cout, copt.loud(2));
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (os) report.write_json(os);
+    if (!os) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return kExitInvalid;
+    }
+    if (copt.loud()) std::cout << "wrote report " << json_path << "\n";
+  }
+  return report.exit_code();
+}
+
 /// `sweep` mode: expand family patterns across an -L range, run the batch on
 /// the parallel engine, print per-job metrics in submission order. Stdout is
 /// deterministic for a given job list — timings only appear at -v — so
@@ -611,10 +712,16 @@ int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
               << " ok, " << totals.failed << " failed, " << report.cache_hits
               << " cache hit(s), " << report.cache_misses << " topology build"
               << (report.cache_misses == 1 ? "" : "s") << "\n";
+    for (const Diagnostic& w : report.warnings)
+      std::cout << "warning: " << code_name(w.code) << ": " << w.to_string()
+                << "\n";
     if (copt.loud(2))
       std::cout << "timing: " << report.threads << " worker(s), wall "
                 << report.wall_ms << " ms, busy " << report.busy_ms
-                << " ms, utilization " << report.utilization() << "\n";
+                << " ms, utilization " << report.utilization() << ", cache "
+                << report.cache_entries << " entr"
+                << (report.cache_entries == 1 ? "y" : "ies") << " ~"
+                << report.cache_bytes << " bytes\n";
   }
   return report.all_ok() ? kExitValid : kExitInvalid;
 }
@@ -628,9 +735,12 @@ int run(int argc, char** argv) {
 
   obs::TraceSession trace;
   obs::MetricsRegistry registry;
+  obs::MetricsSampler sampler;
   if (copt.obs_enabled()) {
     trace.install();
     registry.install();
+    if (copt.metrics_interval_ms != 0)
+      sampler.start(registry, copt.metrics_interval_ms);
   }
 
   int rc;
@@ -640,15 +750,30 @@ int run(int argc, char** argv) {
     rc = run_lint({args.begin() + 1, args.end()}, copt);
   else if (args[0] == "sweep")
     rc = run_sweep({args.begin() + 1, args.end()}, copt);
+  else if (args[0] == "bench-diff")
+    rc = run_bench_diff({args.begin() + 1, args.end()}, copt);
   else
     rc = run_layout(args, copt);
 
   if (copt.obs_enabled()) {
+    obs::publish_peak_rss();  // final high-water mark, into the dump below
+    sampler.stop();
     obs::TraceSession::uninstall();
     obs::MetricsRegistry::uninstall();
     if (copt.loud(2)) print_phase_summary(trace, copt.verbosity);
     if (!flush_obs(copt, trace, registry) && rc == kExitValid)
       rc = kExitInvalid;
+    if (copt.metrics_interval_ms != 0) {
+      std::ofstream os(copt.series_path());
+      if (os) sampler.write_json(os);
+      if (!os) {
+        std::cerr << "failed to write " << copt.series_path() << "\n";
+        if (rc == kExitValid) rc = kExitInvalid;
+      } else if (copt.loud()) {
+        std::cout << "wrote metrics series " << copt.series_path() << " ("
+                  << sampler.snapshots() << " snapshot(s))\n";
+      }
+    }
   }
   return rc;
 }

@@ -8,6 +8,9 @@ inline constexpr const char kLayoutToolUsage[] =
     R"usage(usage: layout_tool <network> [args...] [options]
        layout_tool sweep <spec-range>... [-L lo[..hi]] [-j N]
                    [-nocheck] [-nocache]
+       layout_tool bench-diff <baseline.json> <current.json>
+                   [--max-regress pct] [--noise-floor ms] [--json file]
+                   [--save-baseline]
        layout_tool --doctor <file> [-repair] [-save file] [-transparent]
        layout_tool --lint <file> [-strict] [-baseline file]
                    [-save-baseline file] [-disable rule] [-transparent]
@@ -26,10 +29,17 @@ sweep options:
   spec ranges use a=lo..hi, e.g. "hypercube(n=4..8)" or "kary(k=3,n=1..3)"
   -j <N>            worker threads (default: hardware concurrency)
   -nocache          do not share topologies across layer counts
+bench-diff options:
+  --max-regress <pct>  wall-time slowdown tolerated before failing (default 20)
+  --noise-floor <ms>   absolute wall-time slack per record (default 2.0)
+  --json <file>        also write the machine-readable diff report
+  --save-baseline      refresh <baseline.json> from <current.json> and exit 0
 
 observability (all modes):
   --trace <file>    write a Chrome trace-event JSON of every pipeline phase
   --metrics <file>  write the metrics registry (.csv extension -> CSV, else JSON)
+  --metrics-interval <ms>  sample the registry every <ms> into a time-series
+                    JSON (<metrics file>.series.json, or metrics_series.json)
   --quiet | -q      errors only (exit code still reports validity)
   -v                more detail (repeatable: -v phase summary, -v -v debug)
 doctor options:

@@ -58,6 +58,7 @@ const char* code_name(Code c) {
     case Code::kSpecMissingParam: return "spec-missing-param";
     case Code::kSpecBadValue: return "spec-bad-value";
     case Code::kSpecBadLayerCount: return "spec-bad-layer-count";
+    case Code::kCacheCapacity: return "cache-capacity";
   }
   return "unknown";
 }
@@ -211,6 +212,9 @@ std::string Diagnostic::to_string() const {
       break;
     case Code::kSpecBadLayerCount:
       s = "layer count must be between 2 and 1024";
+      break;
+    case Code::kCacheCapacity:
+      s = "topology cache exceeded its soft capacity";
       break;
   }
   if (line != 0) s = "line " + std::to_string(line) + ": " + s;

@@ -73,6 +73,9 @@ enum class Code : std::uint16_t {
   kSpecMissingParam,    ///< required parameter absent from the spec
   kSpecBadValue,        ///< malformed or out-of-range parameter value
   kSpecBadLayerCount,   ///< RealizeOptions::L outside [2, 1024]
+
+  // Engine resource warnings (src/engine).
+  kCacheCapacity,       ///< topology cache grew past its soft capacity
 };
 
 enum class Severity : std::uint8_t { kWarning, kError };

@@ -1,6 +1,26 @@
 #include "engine/ortho_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace mlvl::engine {
+
+std::size_t approx_layout_bytes(const Orthogonal2Layer& o) {
+  std::size_t b = sizeof(Orthogonal2Layer);
+  // Graph: edge list plus the lazily built CSR adjacency (two spans per
+  // node-side). Counting both directions of the CSR is deliberate — the
+  // engine touches neighbors(), so the index is typically materialized.
+  b += o.graph.num_edges() * (sizeof(NodeId) * 2);          // edge records
+  b += o.graph.num_edges() * 2 * (sizeof(NodeId) + sizeof(EdgeId));  // CSR
+  b += o.graph.num_nodes() * 2 * sizeof(std::uint32_t);     // CSR offsets
+  b += o.place.row_of.size() * sizeof(std::uint32_t);
+  b += o.place.col_of.size() * sizeof(std::uint32_t);
+  b += o.kind.size() * sizeof(EdgeKind);
+  b += o.track.size() * sizeof(std::uint32_t);
+  b += o.row_tracks.size() * sizeof(std::uint32_t);
+  b += o.col_tracks.size() * sizeof(std::uint32_t);
+  b += o.extras.size() * sizeof(ExtraRoute);
+  return b;
+}
 
 OrthoCache::Ptr OrthoCache::get_or_build(
     const std::string& key, const std::function<Orthogonal2Layer()>& build,
@@ -23,11 +43,45 @@ OrthoCache::Ptr OrthoCache::get_or_build(
   if (!builder) return fut.get();  // blocks until the builder finishes
 
   try {
-    mine.set_value(std::make_shared<const Orthogonal2Layer>(build()));
+    Ptr built = std::make_shared<const Orthogonal2Layer>(build());
+    note_built(key, *built);
+    mine.set_value(std::move(built));
   } catch (...) {
     mine.set_exception(std::current_exception());
   }
   return fut.get();
+}
+
+void OrthoCache::note_built(const std::string& key,
+                            const Orthogonal2Layer& layout) {
+  const std::size_t entry_bytes = key.size() + approx_layout_bytes(layout);
+  DiagnosticSink* warn_sink = nullptr;
+  std::size_t entries = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_ += entry_bytes;
+    entries = map_.size();
+    if (soft_capacity_ != 0 && entries > soft_capacity_ && !overflowed_) {
+      overflowed_ = true;
+      warn_sink = sink_;
+      obs::counter_add("engine.cache.soft_overflow");
+    }
+    publish_gauges_locked();
+  }
+  if (warn_sink != nullptr) {
+    Diagnostic d;
+    d.code = Code::kCacheCapacity;
+    d.severity = Severity::kWarning;
+    d.detail = std::to_string(entries) + " entries > soft capacity " +
+               std::to_string(soft_capacity_) +
+               "; consider clearing or bounding the topology cache";
+    warn_sink->report(std::move(d));
+  }
+}
+
+void OrthoCache::publish_gauges_locked() const {
+  obs::gauge_set("engine.cache.size", static_cast<double>(map_.size()));
+  obs::gauge_set("engine.cache.bytes", static_cast<double>(bytes_));
 }
 
 std::size_t OrthoCache::size() const {
@@ -35,9 +89,33 @@ std::size_t OrthoCache::size() const {
   return map_.size();
 }
 
+std::size_t OrthoCache::approx_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
 void OrthoCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
+  bytes_ = 0;
+  overflowed_ = false;
+  publish_gauges_locked();
+}
+
+void OrthoCache::set_soft_capacity(std::size_t entries, DiagnosticSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  soft_capacity_ = entries;
+  sink_ = sink;
+}
+
+std::size_t OrthoCache::soft_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return soft_capacity_;
+}
+
+bool OrthoCache::overflowed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overflowed_;
 }
 
 }  // namespace mlvl::engine

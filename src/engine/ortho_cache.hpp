@@ -9,8 +9,17 @@
 // every other caller blocks on a shared future of the same result. A build
 // that throws poisons its entry (all waiters see the exception), keeping
 // failures deterministic per spec.
+//
+// Observability and capacity: every successful build updates the
+// `engine.cache.size` and `engine.cache.bytes` gauges (approximate resident
+// footprint, from the per-layout vector sizes), and the first growth past
+// the soft capacity emits one `Code::kCacheCapacity` warning to the
+// configured sink plus an `engine.cache.soft_overflow` counter tick. The
+// soft capacity does not evict — it is the tripwire that the future LRU
+// policy will act on.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
@@ -18,9 +27,14 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/diagnostics.hpp"
 #include "core/orthogonal.hpp"
 
 namespace mlvl::engine {
+
+/// Approximate heap footprint of one cached layout (graph, placement,
+/// per-edge classification/track arrays, band track counts, extras).
+[[nodiscard]] std::size_t approx_layout_bytes(const Orthogonal2Layer& o);
 
 class OrthoCache {
  public:
@@ -34,11 +48,28 @@ class OrthoCache {
                    bool* hit = nullptr);
 
   [[nodiscard]] std::size_t size() const;
+  /// Approximate bytes held by all successfully built entries.
+  [[nodiscard]] std::size_t approx_bytes() const;
   void clear();
 
+  /// Entries past which the cache warns (0 = unbounded, the default).
+  /// `sink` (optional, non-owning, must outlive the cache) receives one
+  /// kWarning diagnostic the first time the capacity is crossed.
+  void set_soft_capacity(std::size_t entries, DiagnosticSink* sink = nullptr);
+  [[nodiscard]] std::size_t soft_capacity() const;
+  /// True once the cache has ever grown past its soft capacity.
+  [[nodiscard]] bool overflowed() const;
+
  private:
+  void note_built(const std::string& key, const Orthogonal2Layer& layout);
+  void publish_gauges_locked() const;
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_future<Ptr>> map_;
+  std::size_t bytes_ = 0;          ///< sum over built entries
+  std::size_t soft_capacity_ = 0;  ///< 0 = unbounded
+  bool overflowed_ = false;
+  DiagnosticSink* sink_ = nullptr;
 };
 
 }  // namespace mlvl::engine

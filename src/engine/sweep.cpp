@@ -72,6 +72,10 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
   SweepReport report;
   report.jobs.resize(jobs.size());
 
+  // Route cache soft-capacity warnings into this batch's report.
+  DiagnosticSink cache_sink(16);
+  cache_.set_soft_capacity(opt_.cache_soft_capacity, &cache_sink);
+
   // Canonicalize every spec up front, serially: deterministic, cheap, and a
   // bad spec fails its slot without ever occupying a worker.
   const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
@@ -107,7 +111,14 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
   report.threads = threads;
 
   std::atomic<std::size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](unsigned wid) {
+    // Per-worker latency histograms let a regression be localized: one slow
+    // worker (pinned core, NUMA) looks different from uniformly slower jobs.
+    // Names are built once per worker, only when a registry is installed.
+    const bool per_worker = obs::metrics_enabled();
+    const std::string wq =
+        "engine.worker." + std::to_string(wid) + ".queue_wait_ms";
+    const std::string wj = "engine.worker." + std::to_string(wid) + ".job_ms";
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
@@ -118,6 +129,7 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
       }
       r.queue_wait_ms = ms_since(t0);
       obs::histogram_record("engine.queue_wait_ms", r.queue_wait_ms);
+      if (per_worker) obs::histogram_record(wq, r.queue_wait_ms);
       const Clock::time_point job_t0 = Clock::now();
       {
         obs::Span job_span("engine.job");
@@ -151,16 +163,17 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
       }
       r.run_ms = ms_since(job_t0);
       obs::histogram_record("engine.job_ms", r.run_ms);
+      if (per_worker) obs::histogram_record(wj, r.run_ms);
       obs::counter_add(r.ok ? "engine.jobs.completed" : "engine.jobs.failed");
     }
   };
 
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
   }
 
@@ -176,6 +189,14 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
   obs::gauge_set("engine.threads", threads);
   obs::gauge_set("engine.wall_ms", report.wall_ms);
   obs::gauge_set("engine.utilization", report.utilization());
+
+  // Cache telemetry + any soft-capacity warning raised during this batch.
+  // The sink is stack-local, so detach it before returning.
+  report.cache_entries = cache_.size();
+  report.cache_bytes = cache_.approx_bytes();
+  for (const Diagnostic& d : cache_sink.diagnostics())
+    report.warnings.push_back(d);
+  cache_.set_soft_capacity(opt_.cache_soft_capacity, nullptr);
   return report;
 }
 

@@ -15,8 +15,12 @@
 // Observability: the whole batch runs under an "engine.sweep" span with one
 // nested "engine.job" span per job; counters engine.jobs.submitted /
 // .completed / .failed and engine.cache.hit / .miss, histograms
-// engine.queue_wait_ms / engine.job_ms, and gauges engine.threads /
-// engine.wall_ms / engine.utilization feed the installed MetricsRegistry.
+// engine.queue_wait_ms / engine.job_ms (aggregate) plus per-worker
+// engine.worker.<i>.queue_wait_ms / .job_ms log2-histograms, and gauges
+// engine.threads / engine.wall_ms / engine.utilization /
+// engine.cache.size / engine.cache.bytes feed the installed
+// MetricsRegistry, so a bench-diff regression can be localized to a worker,
+// the cache, or the jobs themselves.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +57,10 @@ struct SweepOptions {
   unsigned threads = 0;  ///< worker count; 0 = hardware concurrency
   bool check = true;     ///< run the geometric checker per job
   bool use_cache = true; ///< share Orthogonal2Layer across same-spec jobs
+  /// Topology-cache entries past which a kWarning diagnostic is emitted
+  /// (into SweepReport::warnings) and engine.cache.soft_overflow ticks.
+  /// 0 = unbounded. The cache never evicts yet — this is the tripwire.
+  std::size_t cache_soft_capacity = 256;
 };
 
 /// Deterministic sums over the per-job metrics, in submission order.
@@ -73,6 +81,9 @@ struct SweepReport {
   double busy_ms = 0;           ///< sum of per-job run times
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::size_t cache_entries = 0;      ///< cache size after the batch
+  std::size_t cache_bytes = 0;        ///< approximate resident footprint
+  std::vector<Diagnostic> warnings;   ///< e.g. cache soft-capacity crossings
 
   [[nodiscard]] bool all_ok() const;
   [[nodiscard]] SweepTotals totals() const;

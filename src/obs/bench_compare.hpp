@@ -1,0 +1,111 @@
+// Noise-aware comparison of two BENCH_mlvl.json files — the regression gate
+// that turns the bench recorder's one-shot artifact into a perf trajectory.
+//
+// A bench file is a set of records keyed by (family, L, nodes), each
+// carrying the deterministic cost metrics (area, wiring_area, volume,
+// max_wire, vias) and the wall-time statistics the repeat harness measured
+// ({median, min, p95, stddev, repeats}). `diff_bench` classifies every
+// (key, metric) pair:
+//
+//   * wall_ms — noise-aware: a slowdown is a regression only when it clears
+//     max(noise_floor_ms, base * max_regress_pct / 100,
+//         stddev_mult * baseline stddev); the symmetric margin marks
+//     improvements. Everything inside the margin is unchanged.
+//   * deterministic metrics — exact: any increase is a regression, any
+//     decrease an improvement (the layout algorithms are deterministic, so
+//     a changed area is a changed algorithm, not noise).
+//   * keys present only in the current file are `new`, keys only in the
+//     baseline `missing` — both informational, so a CI job that runs a bench
+//     subset against the full committed baseline does not fail spuriously.
+//
+// The report is emitted both machine-readable (`write_json`) and human
+// (`write_text`), and `exit_code` maps it onto the repo-wide 0/1/2/3
+// contract (0 = clean, 1 = regressions).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace mlvl::obs {
+
+/// One parsed bench record (see bench/bench_util.hpp for the writer).
+struct BenchPoint {
+  std::string family;
+  std::uint32_t L = 0;
+  std::uint64_t nodes = 0;
+  SampleStats wall;  ///< median/min/max/p95/stddev/repeats of wall_ms
+  /// Deterministic cost metrics, in a fixed emission order.
+  std::map<std::string, double> metrics;
+};
+
+/// A whole BENCH_mlvl.json: records keyed by (family, L, nodes) + the
+/// environment block of the run that produced it (absent in v1 files).
+struct BenchFile {
+  std::map<std::string, BenchPoint> points;  ///< key: "family/L=<L>/N=<nodes>"
+  BuildEnv env;
+  bool has_env = false;
+};
+
+/// Parse a bench JSON document from disk. Accepts both the v1 schema (single
+/// wall_ms, no env) and v2 (wall statistics + env block). On failure returns
+/// nullopt and, when `error` is non-null, a one-line reason.
+[[nodiscard]] std::optional<BenchFile> load_bench_file(const std::string& path,
+                                                       std::string* error);
+
+enum class DiffVerdict : std::uint8_t {
+  kUnchanged,
+  kImproved,
+  kRegressed,
+  kNew,      ///< key only in current
+  kMissing,  ///< key only in baseline
+};
+
+[[nodiscard]] const char* diff_verdict_name(DiffVerdict v);
+
+/// One (key, metric) comparison.
+struct DiffEntry {
+  std::string key;     ///< "family/L=<L>/N=<nodes>"
+  std::string metric;  ///< "wall_ms", "area", ...
+  double base = 0;
+  double cur = 0;
+  double delta_pct = 0;  ///< (cur - base) / base * 100; 0 when base == 0
+  double margin = 0;     ///< the noise margin this verdict was judged against
+  DiffVerdict verdict = DiffVerdict::kUnchanged;
+};
+
+struct DiffOptions {
+  double max_regress_pct = 20;  ///< relative slack for wall_ms
+  double noise_floor_ms = 2.0;  ///< absolute slack for wall_ms
+  double stddev_mult = 3.0;     ///< slack in baseline stddevs for wall_ms
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> entries;  ///< stable key order, wall_ms first per key
+  DiffOptions options;
+  bool env_mismatch = false;  ///< both files carry env blocks and they differ
+  std::string env_note;       ///< human description of the mismatch
+
+  [[nodiscard]] std::uint64_t count(DiffVerdict v) const;
+  [[nodiscard]] bool clean() const { return count(DiffVerdict::kRegressed) == 0; }
+  /// 0 when clean, 1 when any metric regressed (0/1/2/3 contract; 2 and 3
+  /// are produced by the CLI for file and usage errors).
+  [[nodiscard]] int exit_code() const { return clean() ? 0 : 1; }
+
+  void write_json(std::ostream& os) const;
+  /// Human report: per-key verdict table (new/missing/unchanged summarized
+  /// unless `verbose`), then totals.
+  void write_text(std::ostream& os, bool verbose = false) const;
+};
+
+/// Compare `current` against `baseline` under `opt`.
+[[nodiscard]] DiffReport diff_bench(const BenchFile& baseline,
+                                    const BenchFile& current,
+                                    const DiffOptions& opt = {});
+
+}  // namespace mlvl::obs

@@ -1,0 +1,109 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#endif
+
+namespace mlvl::obs {
+
+std::uint64_t publish_peak_rss() {
+  std::uint64_t bytes = 0;
+#if defined(__linux__)
+  // /proc/self/status VmHWM is the peak resident set in kB; getrusage
+  // ru_maxrss (also kB on Linux) is the fallback when /proc is unmounted.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+        bytes = static_cast<std::uint64_t>(kb) * 1024;
+        break;
+      }
+    }
+    std::fclose(f);
+  }
+  if (bytes == 0) {
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0)
+      bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+  }
+#endif
+  if (bytes != 0) gauge_set("process.peak_rss_bytes", double(bytes));
+  return bytes;
+}
+
+void MetricsSampler::start(const MetricsRegistry& registry,
+                           std::uint32_t interval_ms) {
+  if (thread_.joinable()) return;
+  registry_ = &registry;
+  interval_ms_ = interval_ms == 0 ? 1 : interval_ms;
+  stop_.store(false, std::memory_order_relaxed);
+  t0_ = std::chrono::steady_clock::now();
+  take_snapshot();  // t=0 point: the series always starts at the baseline
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Sleep in small slices so stop() returns promptly even for long
+      // intervals; the snapshot cadence is still interval_ms_.
+      auto remaining = std::chrono::milliseconds(interval_ms_);
+      const auto slice = std::chrono::milliseconds(5);
+      while (remaining.count() > 0 &&
+             !stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::min(remaining, slice));
+        remaining -= slice;
+      }
+      if (stop_.load(std::memory_order_relaxed)) return;
+      take_snapshot();
+    }
+  });
+}
+
+void MetricsSampler::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  take_snapshot();  // closing data point with the final totals
+}
+
+void MetricsSampler::take_snapshot() {
+  if (registry_ == nullptr) return;
+  publish_peak_rss();
+  Snapshot s;
+  s.t_ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0_)
+               .count();
+  std::ostringstream os;
+  registry_->write_json(os);
+  s.metrics_json = os.str();
+  // Trim the trailing newline write_json appends so the snapshot embeds
+  // cleanly inside the series array.
+  while (!s.metrics_json.empty() && s.metrics_json.back() == '\n')
+    s.metrics_json.pop_back();
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.push_back(std::move(s));
+}
+
+std::size_t MetricsSampler::snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+void MetricsSampler::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"schema\": \"mlvl-metrics-series-v1\",\n  \"interval_ms\": "
+     << interval_ms_ << ",\n  \"snapshots\": [";
+  bool first = true;
+  for (const Snapshot& s : series_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"t_ms\": " << s.t_ms << ", \"metrics\": " << s.metrics_json
+       << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace mlvl::obs

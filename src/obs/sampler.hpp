@@ -1,0 +1,74 @@
+// Periodic snapshots of the installed MetricsRegistry, for watching a long
+// run evolve instead of only seeing its final totals.
+//
+// `MetricsSampler::start(registry, interval_ms)` spawns one background
+// thread that every `interval_ms` milliseconds appends a snapshot — the
+// elapsed time plus the registry's full JSON dump — to an in-memory series.
+// `stop()` joins the thread (taking one final snapshot so even a run shorter
+// than the interval yields a closing data point) and `write_json` emits
+//
+//   {"schema": "mlvl-metrics-series-v1", "interval_ms": N,
+//    "snapshots": [{"t_ms": 12.3, "metrics": { ...registry json... }}, ...]}
+//
+// which io::parse_json reads back. Each snapshot also refreshes the
+// `process.peak_rss_bytes` gauge first, so memory growth is visible in the
+// series, not just the final high-water mark.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mlvl::obs {
+
+/// Publish the process's peak resident set size (bytes) as the
+/// `process.peak_rss_bytes` gauge on the installed registry. Returns the
+/// value published, or 0 when the platform offers no way to read it.
+std::uint64_t publish_peak_rss();
+
+class MetricsSampler {
+ public:
+  MetricsSampler() = default;
+  ~MetricsSampler() { stop(); }
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Begin sampling `registry` every `interval_ms` (clamped to >= 1). No-op
+  /// if already running. The registry must outlive the sampler.
+  void start(const MetricsRegistry& registry, std::uint32_t interval_ms);
+
+  /// Stop the sampling thread, appending one final snapshot. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::size_t snapshots() const;
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+
+  /// Emit the whole series as one JSON document (see header comment).
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Snapshot {
+    double t_ms = 0;          ///< elapsed since start()
+    std::string metrics_json; ///< MetricsRegistry::write_json output
+  };
+
+  void take_snapshot();
+
+  const MetricsRegistry* registry_ = nullptr;
+  std::uint32_t interval_ms_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<Snapshot> series_;
+  mutable std::mutex mu_;  ///< guards series_ between sampler thread and readers
+};
+
+}  // namespace mlvl::obs

@@ -110,7 +110,7 @@ TEST(Engine, FailuresStayIsolatedToTheirJob) {
   std::vector<SweepJob> jobs;
   jobs.push_back({*reg.parse("hypercube(n=3)"), {.L = 2}});
   jobs.push_back({*reg.parse("hypercube(n=3)"), {.L = 1}});    // bad L
-  jobs.push_back({{.family = "moebius"}, {.L = 2}});           // bad family
+  jobs.push_back({{.family = "moebius", .params = {}}, {.L = 2}});  // bad family
   jobs.push_back({*reg.parse("hypercube(n=4)"), {.L = 2}});
 
   SweepReport r = run_sweep(jobs, {.threads = 4});
@@ -175,6 +175,46 @@ TEST(Engine, EmitsDocumentedSpansAndCounters) {
   EXPECT_GT(r.wall_ms, 0.0);
   EXPECT_GE(r.utilization(), 0.0);
   EXPECT_LE(r.utilization(), 1.05);  // small slack for clock granularity
+}
+
+TEST(Engine, CacheTelemetryGaugesTrackSizeAndBytes) {
+  obs::MetricsRegistry metrics;
+  metrics.install();
+  const std::vector<SweepJob> jobs = hypercube_grid(3, 5, 2, 3);
+  SweepReport r = run_sweep(jobs, {.threads = 2});
+  obs::MetricsRegistry::uninstall();
+  ASSERT_TRUE(r.all_ok());
+
+  EXPECT_EQ(r.cache_entries, 3u);  // three unique topologies
+  EXPECT_GT(r.cache_bytes, 0u);
+  EXPECT_EQ(metrics.gauge("engine.cache.size"), 3.0);
+  EXPECT_EQ(metrics.gauge("engine.cache.bytes"),
+            static_cast<double>(r.cache_bytes));
+  // Per-worker queue-wait and job-latency histograms exist for each thread.
+  EXPECT_TRUE(metrics.histogram("engine.worker.0.job_ms").has_value());
+  EXPECT_TRUE(metrics.histogram("engine.worker.0.queue_wait_ms").has_value());
+  // Within soft capacity: no warnings.
+  EXPECT_EQ(metrics.counter("engine.cache.soft_overflow"), 0u);
+  EXPECT_TRUE(r.warnings.empty());
+}
+
+TEST(Engine, CacheSoftCapacityOverflowWarnsOnce) {
+  obs::MetricsRegistry metrics;
+  metrics.install();
+  // Four unique topologies against a soft capacity of 2: the cache keeps
+  // building (no eviction) but flags the crossing exactly once.
+  const std::vector<SweepJob> jobs = hypercube_grid(3, 6, 2, 3);
+  SweepReport r = run_sweep(jobs, {.threads = 2, .cache_soft_capacity = 2});
+  obs::MetricsRegistry::uninstall();
+  ASSERT_TRUE(r.all_ok());
+
+  EXPECT_EQ(r.cache_entries, 4u);
+  EXPECT_EQ(metrics.counter("engine.cache.soft_overflow"), 1u);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_EQ(r.warnings[0].severity, Severity::kWarning);
+  EXPECT_EQ(r.warnings[0].code, Code::kCacheCapacity);
+  EXPECT_NE(r.warnings[0].detail.find("soft capacity 2"), std::string::npos)
+      << r.warnings[0].detail;
 }
 
 TEST(Engine, ZeroJobsIsANoOp) {

@@ -339,6 +339,8 @@ TEST(UsageText, NamesTheInstalledBinaryAndEveryFlagFamily) {
         "-L <layers>", "-svg", "-congestion", "-nocheck", "-repair",
         "-baseline", "-save-baseline", "-disable", "-transparent",
         "sweep <spec-range>", "-j <N>", "-nocache", "hypercube(n=4..8)",
+        "bench-diff <baseline.json> <current.json>", "--max-regress",
+        "--noise-floor", "--json", "--save-baseline", "--metrics-interval",
         "exit codes: 0 valid, 1 invalid, 2 parse error, 3 usage"})
     EXPECT_NE(usage.find(needle), std::string::npos)
         << "usage text lost: " << needle;
