@@ -63,9 +63,15 @@ inline BenchConfig& config() {
       if (v == nullptr || *v == '\0') return fallback;
       char* end = nullptr;
       const unsigned long n = std::strtoul(v, &end, 10);
-      return end != v && *end == '\0' && n >= 1 && n <= 1000
-                 ? static_cast<std::uint32_t>(n)
-                 : fallback;
+      if (end != v && *end == '\0' && n >= 1 && n <= 1000)
+        return static_cast<std::uint32_t>(n);
+      // Falling back silently would let a typo (`MLVL_BENCH_REPEATS=1O`)
+      // measure with the default repeat count while the operator believes
+      // otherwise — say so, on stderr, and keep the bench running.
+      std::cerr << "bench: ignoring " << name << "='" << v
+                << "' (wants an integer in 1..1000); using " << fallback
+                << "\n";
+      return fallback;
     };
     c.repeats = env_u32("MLVL_BENCH_REPEATS", c.repeats);
     c.warmup = env_u32("MLVL_BENCH_WARMUP", c.warmup);

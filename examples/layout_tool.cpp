@@ -8,7 +8,14 @@
 // And the sweeper: `sweep` expands family patterns like hypercube(n=6..10)
 // across an -L range and runs every job on the parallel batch engine, with
 // results printed in submission order (so -j 8 output is byte-identical to
-// -j 1). And the perf gate: `bench-diff` compares a fresh BENCH_mlvl.json
+// -j 1); --deadline/--sweep-deadline bound each job / the whole batch with
+// cooperative cancellation, --retries retries transient failures,
+// --cache-capacity hard-bounds the topology cache with LRU eviction, and
+// --journal/--resume checkpoint finished jobs so a killed sweep restarts
+// where it stopped, byte-identical to an uninterrupted run. And the chaos
+// harness: `soak` drives the persistent engine through repeated sweeps with
+// injected transient faults and a tiny cache, asserting the governance
+// invariants. And the perf gate: `bench-diff` compares a fresh BENCH_mlvl.json
 // against the committed baseline with noise-aware thresholds and fails the
 // build on regressions; `--metrics-interval` samples the metrics registry
 // periodically into a time-series JSON during long runs.
@@ -42,6 +49,7 @@
 #include "core/io.hpp"
 #include "core/metrics.hpp"
 #include "core/svg.hpp"
+#include "engine/journal.hpp"
 #include "engine/sweep.hpp"
 #include "layout_tool_usage.hpp"
 #include "obs/bench_compare.hpp"
@@ -120,11 +128,17 @@ void print_diagnostics(const DiagnosticSink& sink) {
   analysis::Table t({"code", "where", "message"});
   for (const Diagnostic& d : sink.diagnostics()) {
     std::string where;
-    if (d.line != 0)
+    if (d.line != 0) {
       where = "line " + std::to_string(d.line);
-    else if (d.has_point)
-      where = "(" + std::to_string(d.x) + "," + std::to_string(d.y) + "," +
-              std::to_string(d.layer) + ")";
+    } else if (d.has_point) {
+      where += '(';
+      where += std::to_string(d.x);
+      where += ',';
+      where += std::to_string(d.y);
+      where += ',';
+      where += std::to_string(d.layer);
+      where += ')';
+    }
     t.begin_row().cell(code_name(d.code)).cell(where).cell(d.to_string());
   }
   t.print(std::cout);
@@ -628,6 +642,7 @@ int run_bench_diff(const std::vector<std::string>& args,
 int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
   std::uint32_t l_lo = 4, l_hi = 4;
   std::uint32_t jobs_flag = 0;
+  std::string journal_path, resume_path;
   engine::SweepOptions opt;
   std::vector<std::string> patterns;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -651,6 +666,27 @@ int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
         std::cerr << "layout_tool: -j wants 1..256 workers\n";
         return usage();
       }
+    } else if (args[i] == "--deadline" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "--deadline", opt.job_deadline_ms))
+        return usage();
+    } else if (args[i] == "--sweep-deadline" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "--sweep-deadline",
+                          opt.sweep_deadline_ms))
+        return usage();
+    } else if (args[i] == "--retries" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "--retries", opt.max_retries) ||
+          opt.max_retries > 16) {
+        std::cerr << "layout_tool: --retries wants 0..16\n";
+        return usage();
+      }
+    } else if (args[i] == "--cache-capacity" && i + 1 < args.size()) {
+      std::uint32_t cap = 0;
+      if (!parse_u32_flag(args[++i], "--cache-capacity", cap)) return usage();
+      opt.cache_capacity = cap;
+    } else if (args[i] == "--journal" && i + 1 < args.size()) {
+      journal_path = args[++i];
+    } else if (args[i] == "--resume" && i + 1 < args.size()) {
+      resume_path = args[++i];
     } else if (args[i] == "-nocheck") {
       opt.check = false;
     } else if (args[i] == "-nocache") {
@@ -663,6 +699,33 @@ int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
   }
   if (patterns.empty()) return usage();
   opt.threads = jobs_flag;
+
+  // Resume before journal: `--resume f --journal f` (the usual crash-restart
+  // invocation) must read the completed set before appending to the file.
+  engine::SweepResume resume;
+  if (!resume_path.empty()) {
+    DiagnosticSink jsink(4);
+    std::optional<engine::SweepResume> loaded =
+        engine::SweepJournal::load(resume_path, &jsink);
+    if (!loaded) {
+      print_spec_errors(jsink);
+      return kExitParseError;
+    }
+    resume = std::move(*loaded);
+    if (resume.malformed_lines != 0)
+      std::cerr << "layout_tool: " << resume.malformed_lines
+                << " torn journal line(s) ignored\n";
+    opt.resume = &resume;
+  }
+  std::optional<engine::SweepJournal> journal;
+  if (!journal_path.empty()) {
+    journal.emplace(journal_path);
+    if (!journal->valid()) {
+      std::cerr << "layout_tool: cannot open journal " << journal_path << "\n";
+      return kExitParseError;
+    }
+    opt.journal = &*journal;
+  }
 
   // Expand patterns x L range into the job list, submission order =
   // pattern order x parameter odometer x ascending L.
@@ -699,31 +762,236 @@ int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
         t.cell(j.nodes).cell(j.edges).cell(j.metrics.area)
             .cell(j.metrics.wiring_area).cell(j.metrics.volume)
             .cell(std::uint64_t(j.metrics.max_wire_length))
-            .cell(j.metrics.via_count).cell("ok");
+            .cell(j.metrics.via_count).cell(engine::verdict_name(j.verdict));
       } else {
+        // Deadline/skip rows print the verdict, not the error text: which
+        // phase a budget tripped in is timing-dependent, and sweep stdout
+        // stays deterministic for a given job list.
+        const bool budget = j.verdict == engine::JobVerdict::kDeadline ||
+                            j.verdict == engine::JobVerdict::kSkipped;
         t.cell(std::uint64_t(0)).cell(std::uint64_t(0)).cell(std::uint64_t(0))
             .cell(std::uint64_t(0)).cell(std::uint64_t(0))
-            .cell(std::uint64_t(0)).cell(std::uint64_t(0)).cell(j.error);
+            .cell(std::uint64_t(0)).cell(std::uint64_t(0))
+            .cell(budget ? engine::verdict_name(j.verdict) : j.error);
       }
     }
     t.print(std::cout);
     const engine::SweepTotals totals = report.totals();
+    // Cache and resume counts deliberately stay off this line: a resumed run
+    // rebuilds topologies its journal skipped, so those counts differ from
+    // the uninterrupted run's while every deterministic column above is
+    // byte-identical. They appear on the -v timing line instead.
     std::cout << "sweep: " << report.jobs.size() << " job(s), " << totals.ok
-              << " ok, " << totals.failed << " failed, " << report.cache_hits
-              << " cache hit(s), " << report.cache_misses << " topology build"
-              << (report.cache_misses == 1 ? "" : "s") << "\n";
+              << " ok, " << totals.failed << " failed";
+    if (totals.retried != 0) std::cout << ", " << totals.retried << " retried";
+    if (totals.deadline != 0)
+      std::cout << ", " << totals.deadline << " deadline";
+    if (totals.skipped != 0) std::cout << ", " << totals.skipped << " skipped";
+    std::cout << "\n";
     for (const Diagnostic& w : report.warnings)
       std::cout << "warning: " << code_name(w.code) << ": " << w.to_string()
                 << "\n";
-    if (copt.loud(2))
+    if (copt.loud(2)) {
       std::cout << "timing: " << report.threads << " worker(s), wall "
                 << report.wall_ms << " ms, busy " << report.busy_ms
                 << " ms, utilization " << report.utilization() << ", cache "
                 << report.cache_entries << " entr"
                 << (report.cache_entries == 1 ? "y" : "ies") << " ~"
                 << report.cache_bytes << " bytes\n";
+      std::cout << "governance: " << report.cache_hits << " cache hit(s), "
+                << report.cache_misses << " topology build"
+                << (report.cache_misses == 1 ? "" : "s") << ", "
+                << report.cache_evictions << " eviction(s), "
+                << report.resumed << " resumed, " << report.retry_attempts
+                << " transient failure(s)";
+      if (journal) std::cout << ", journal " << journal->recorded()
+                             << " record(s)";
+      std::cout << "\n";
+    }
   }
   return report.all_ok() ? kExitValid : kExitInvalid;
+}
+
+/// `soak` mode: chaos-soak the persistent batch engine — repeated sweeps on
+/// one engine with injected transient faults, a deliberately tiny bounded
+/// cache, optional aggressive deadlines and a retry budget — then assert the
+/// governance invariants: every job gets a structured verdict, ok results
+/// carry real metrics, the cache never exceeds its hard capacity, and (with
+/// deadlines off) a -j1 re-run of the first iteration on a fresh engine is
+/// byte-identical. Exit 0 = all invariants held (deadline/failed verdicts
+/// are expected outcomes, not violations); 1 = an invariant broke.
+int run_soak(const std::vector<std::string>& args, const CommonOptions& copt) {
+  std::uint32_t iters = 10, seed = 1, jobs_flag = 0, fault_pct = 25;
+  std::uint32_t cache_cap = 64;
+  engine::SweepOptions opt;
+  opt.max_retries = 2;
+  opt.retry_backoff_ms = 0;  // chaos soaks measure invariants, not patience
+  std::vector<std::string> patterns;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-iters" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "-iters", iters) || iters == 0)
+        return usage();
+    } else if (args[i] == "-seed" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "-seed", seed)) return usage();
+    } else if (args[i] == "-j" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "-j", jobs_flag) || jobs_flag == 0 ||
+          jobs_flag > 256)
+        return usage();
+    } else if (args[i] == "-fault-rate" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "-fault-rate", fault_pct) ||
+          fault_pct > 100)
+        return usage();
+    } else if (args[i] == "--cache-capacity" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "--cache-capacity", cache_cap))
+        return usage();
+    } else if (args[i] == "--deadline" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "--deadline", opt.job_deadline_ms))
+        return usage();
+    } else if (args[i] == "--sweep-deadline" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "--sweep-deadline",
+                          opt.sweep_deadline_ms))
+        return usage();
+    } else if (args[i] == "--retries" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "--retries", opt.max_retries) ||
+          opt.max_retries > 16)
+        return usage();
+    } else if (!args[i].empty() && args[i][0] != '-') {
+      patterns.push_back(args[i]);
+    } else {
+      return usage();
+    }
+  }
+  if (patterns.empty())
+    patterns = {"hypercube(n=3..5)", "kary(k=3,n=1..3)"};
+
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  DiagnosticSink sink(32);
+  std::vector<engine::SweepJob> jobs;
+  for (const std::string& pat : patterns) {
+    std::optional<std::vector<api::FamilySpec>> specs = reg.expand(pat, &sink);
+    if (!specs) {
+      print_spec_errors(sink);
+      return usage();
+    }
+    for (api::FamilySpec& spec : *specs)
+      for (std::uint32_t L = 2; L <= 4; ++L) jobs.push_back({spec, {.L = L}});
+  }
+
+  auto mix = [](std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  };
+  // Chaos is deterministic in (seed, iteration, job, attempt): replayable,
+  // and the -j1/-jN fingerprint comparison below stays meaningful.
+  std::uint32_t cur_iter = 0;
+  opt.threads = jobs_flag;
+  opt.cache_capacity = cache_cap;
+  opt.inject_fault = [&](std::size_t job, std::uint32_t attempt) {
+    const std::uint64_t x =
+        mix(mix(mix(std::uint64_t{seed} * 1000003 + cur_iter) ^ job) ^
+            attempt);
+    return x % 100 < fault_pct;
+  };
+
+  auto fingerprint = [](const engine::SweepReport& rep) {
+    std::string fp;
+    for (const engine::JobResult& j : rep.jobs) {
+      fp += api::format_family_spec(j.spec);
+      fp += '|';
+      fp += std::to_string(j.L);
+      fp += '|';
+      fp += engine::verdict_name(j.verdict);
+      fp += '|';
+      fp += std::to_string(j.metrics.area);
+      fp += '|';
+      fp += std::to_string(j.metrics.volume);
+      fp += '|';
+      fp += std::to_string(j.metrics.total_wire_length);
+      fp += '|';
+      fp += std::to_string(j.metrics.via_count);
+      fp += '|';
+      fp += j.error;
+      fp += '\n';
+    }
+    return fp;
+  };
+
+  engine::BatchLayoutEngine eng(opt);
+  engine::SweepTotals grand;
+  std::uint64_t violations = 0;
+  std::string first_fp;
+  auto violate = [&](std::size_t iter, const std::string& what) {
+    ++violations;
+    std::cerr << "soak: iteration " << iter << ": INVARIANT VIOLATED: "
+              << what << "\n";
+  };
+  for (cur_iter = 0; cur_iter < iters; ++cur_iter) {
+    engine::SweepReport rep = eng.run(jobs);
+    if (cur_iter == 0) first_fp = fingerprint(rep);
+    if (rep.jobs.size() != jobs.size())
+      violate(cur_iter, "result count != job count");
+    for (const engine::JobResult& j : rep.jobs) {
+      const bool ok_verdict = j.verdict == engine::JobVerdict::kOk ||
+                              j.verdict == engine::JobVerdict::kRetried;
+      if (j.ok != ok_verdict)
+        violate(cur_iter, "ok flag disagrees with verdict for " +
+                              api::format_family_spec(j.spec));
+      if (j.ok && (j.metrics.area == 0 || j.nodes == 0))
+        violate(cur_iter,
+                "ok job with empty metrics: " + api::format_family_spec(j.spec));
+      if (j.verdict == engine::JobVerdict::kRetried && j.attempts < 2)
+        violate(cur_iter, "retried verdict with a single attempt");
+      if (j.verdict == engine::JobVerdict::kDeadline &&
+          opt.job_deadline_ms == 0 && opt.sweep_deadline_ms == 0)
+        violate(cur_iter, "deadline verdict with no deadline armed");
+    }
+    if (cache_cap != 0 && eng.cache_stats().entries > cache_cap)
+      violate(cur_iter, "cache exceeded its hard capacity");
+    const engine::SweepTotals t = rep.totals();
+    grand.ok += t.ok;
+    grand.failed += t.failed;
+    grand.retried += t.retried;
+    grand.deadline += t.deadline;
+    grand.skipped += t.skipped;
+  }
+
+  // Determinism probe: iteration 0 replayed on a fresh single-threaded
+  // engine must reproduce the fingerprint bit for bit. Deadlines are
+  // timing-dependent by nature, so the probe only runs without them.
+  bool determinism_checked = false;
+  if (opt.job_deadline_ms == 0 && opt.sweep_deadline_ms == 0) {
+    determinism_checked = true;
+    cur_iter = 0;
+    engine::SweepOptions replay = opt;
+    replay.threads = 1;
+    engine::BatchLayoutEngine fresh(replay);
+    engine::SweepReport rep = fresh.run(jobs);
+    if (fingerprint(rep) != first_fp)
+      violate(0, "-j1 replay fingerprint differs from first iteration");
+  }
+
+  const engine::CacheStats cs = eng.cache_stats();
+  if (copt.loud()) {
+    std::cout << "soak: " << iters << " iteration(s) x " << jobs.size()
+              << " job(s), fault rate " << fault_pct << "%, cache capacity "
+              << cache_cap << "\n";
+    std::cout << "verdicts: " << grand.ok << " ok (" << grand.retried
+              << " retried), " << grand.failed << " failed, "
+              << grand.deadline << " deadline, " << grand.skipped
+              << " skipped\n";
+    std::cout << "cache: " << cs.entries << " entr"
+              << (cs.entries == 1 ? "y" : "ies") << ", " << cs.hits
+              << " hit(s), " << cs.misses << " miss(es), " << cs.evictions
+              << " eviction(s)\n";
+    std::cout << "determinism: "
+              << (determinism_checked ? "replay verified"
+                                      : "skipped (deadlines armed)")
+              << "\n";
+    std::cout << "soak: " << (violations == 0 ? "PASS" : "FAIL") << "\n";
+  }
+  return violations == 0 ? kExitValid : kExitInvalid;
 }
 
 int run(int argc, char** argv) {
@@ -750,6 +1018,8 @@ int run(int argc, char** argv) {
     rc = run_lint({args.begin() + 1, args.end()}, copt);
   else if (args[0] == "sweep")
     rc = run_sweep({args.begin() + 1, args.end()}, copt);
+  else if (args[0] == "soak")
+    rc = run_soak({args.begin() + 1, args.end()}, copt);
   else if (args[0] == "bench-diff")
     rc = run_bench_diff({args.begin() + 1, args.end()}, copt);
   else

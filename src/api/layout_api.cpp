@@ -18,6 +18,19 @@ std::string first_error(const DiagnosticSink& sink, const char* fallback) {
                                  : std::string(fallback);
 }
 
+/// Convert a cooperative cancellation into a failed result + diagnostic.
+LayoutResult cancelled_fail(const FamilySpec& spec, const CancelledError& ex,
+                            DiagnosticSink* sink) {
+  if (sink != nullptr) {
+    Diagnostic d;
+    d.code = Code::kJobDeadline;
+    d.severity = Severity::kError;
+    d.detail = ex.what();
+    sink->report(std::move(d));
+  }
+  return fail(spec, ex.what());
+}
+
 }  // namespace
 
 bool validate_options(const RealizeOptions& opt, DiagnosticSink* sink) {
@@ -41,8 +54,16 @@ LayoutResult run_layout(const LayoutRequest& req, DiagnosticSink* sink) {
   std::optional<FamilySpec> canon =
       FamilyRegistry::instance().canonicalize(req.spec, &diags);
   if (!canon) return fail(req.spec, first_error(diags, "bad family spec"));
-  std::optional<Orthogonal2Layer> ortho =
-      FamilyRegistry::instance().build(*canon, &diags);
+
+  // The scope covers the topology build too: an expired budget stops the
+  // request at the "topology" checkpoint before any expensive work.
+  CancelScope scope(req.cancel);
+  std::optional<Orthogonal2Layer> ortho;
+  try {
+    ortho = FamilyRegistry::instance().build(*canon, &diags);
+  } catch (const CancelledError& ex) {
+    return cancelled_fail(*canon, ex, sink);
+  }
   if (!ortho) return fail(*canon, first_error(diags, "family build failed"));
 
   LayoutRequest resolved = req;
@@ -63,16 +84,24 @@ LayoutResult run_layout(const Orthogonal2Layer& ortho,
   r.spec = req.spec;
   r.nodes = ortho.graph.num_nodes();
   r.edges = ortho.graph.num_edges();
-  r.layout = realize(ortho, req.options);
-  if (req.check) {
-    CheckResult res = check_layout(ortho.graph, r.layout);
-    if (!res.ok) {
-      r.error = res.error;
-      return r;
+  CancelScope scope(req.cancel);
+  try {
+    r.layout = realize(ortho, req.options);
+    if (req.check) {
+      CheckResult res = check_layout(ortho.graph, r.layout);
+      if (!res.ok) {
+        r.error = res.error;
+        return r;
+      }
+      r.check_points = res.points;
     }
-    r.check_points = res.points;
+    r.metrics = compute_metrics(r.layout, ortho.graph);
+  } catch (const CancelledError& ex) {
+    // Only a request-supplied token is handled here; when the caller (the
+    // batch engine) installed its own scope, the unwind is its to classify.
+    if (req.cancel == nullptr) throw;
+    return cancelled_fail(req.spec, ex, sink);
   }
-  r.metrics = compute_metrics(r.layout, ortho.graph);
   r.ok = true;
   return r;
 }

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "api/registry.hpp"
+#include "core/cancel.hpp"
 #include "core/checker.hpp"
 #include "core/metrics.hpp"
 #include "core/multilayer.hpp"
@@ -28,6 +29,11 @@ struct LayoutRequest {
   FamilySpec spec;
   RealizeOptions options{};  ///< options.L validated to [2, 1024]
   bool check = true;         ///< run the geometric checker
+  /// Optional cooperative budget (non-owning; may be shared across
+  /// requests). When the token trips mid-pipeline, run_layout returns a
+  /// failed result with a kJobDeadline diagnostic instead of finishing the
+  /// phase. The batch engine leaves this null and installs its own scope.
+  const CancelToken* cancel = nullptr;
 };
 
 struct LayoutResult {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/cancel.hpp"
+
 namespace mlvl::api {
 namespace {
 
@@ -204,6 +206,10 @@ std::optional<Orthogonal2Layer> FamilyRegistry::build(
   if (!canon) return std::nullopt;
   const Family* fam = find(canon->family);
   try {
+    // Deadline checkpoint at the phase boundary: a job already over budget
+    // never starts an expensive topology build. (CancelledError is not
+    // invalid_argument, so mid-build cancellation propagates to the caller.)
+    poll_cancellation("topology");
     return fam->build(*canon);
   } catch (const std::invalid_argument& ex) {
     report(sink, Code::kSpecBadValue,

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/gridkey.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -108,6 +109,7 @@ std::uint64_t check_layout_all(const Graph& g, const LayoutGeometry& geom,
                    EdgeId e) { occ.emplace_back(key3(x, y, z), e); };
 
   for (const WireSeg& s : geom.segs) {
+    poll_cancellation("check");
     if (sink.full()) return 0;
     if (s.edge >= g.num_edges()) {
       report({.code = Code::kSegUnknownEdge,
@@ -208,6 +210,7 @@ std::uint64_t check_layout_all(const Graph& g, const LayoutGeometry& geom,
 
   // ---- Wires on an active layer may only touch their endpoints' boxes. ----
   for (const auto& [k, e] : occ) {
+    poll_cancellation("check");
     if (sink.full()) return points;
     auto it = box_at.find(k);
     if (it == box_at.end()) continue;
@@ -233,6 +236,7 @@ std::uint64_t check_layout_all(const Graph& g, const LayoutGeometry& geom,
   }
 
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    poll_cancellation("check");
     if (sink.full()) return points;
     if (!edge_frame_ok[e]) continue;  // already diagnosed above
     auto& p = pts[e];

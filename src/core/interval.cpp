@@ -6,6 +6,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "core/cancel.hpp"
 #include "obs/metrics.hpp"
 
 namespace mlvl {
@@ -35,6 +36,7 @@ TrackAssignment assign_tracks_left_edge(std::vector<Interval> intervals) {
   std::priority_queue<Free, std::vector<Free>, std::greater<>> busy;
   std::vector<std::uint32_t> free_tracks;
   for (std::uint32_t idx : order) {
+    poll_cancellation("interval");
     const Interval& iv = intervals[idx];
     while (!busy.empty() && busy.top().first <= iv.lo) {
       free_tracks.push_back(busy.top().second);

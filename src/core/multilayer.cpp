@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/cancel.hpp"
 #include "core/interval.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -262,6 +263,7 @@ MultilayerLayout realize(const Orthogonal2Layer& o, const RealizeOptions& opt) {
   std::size_t extra_idx = 0;
   bool odd_group_used = false;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    poll_cancellation("routing");
     const Edge& ed = g.edge(e);
     switch (o.kind[e]) {
       case EdgeKind::kRow: {

@@ -1,5 +1,8 @@
 #include "engine/ortho_cache.hpp"
 
+#include <limits>
+
+#include "core/cancel.hpp"
 #include "obs/metrics.hpp"
 
 namespace mlvl::engine {
@@ -22,100 +25,256 @@ std::size_t approx_layout_bytes(const Orthogonal2Layer& o) {
   return b;
 }
 
+OrthoCache::Shard& OrthoCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
 OrthoCache::Ptr OrthoCache::get_or_build(
     const std::string& key, const std::function<Orthogonal2Layer()>& build,
     bool* hit) {
+  Shard& sh = shard_for(key);
   std::shared_future<Ptr> fut;
   std::promise<Ptr> mine;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      fut = it->second;
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.map.find(key);
+    if (it != sh.map.end()) {
+      it->second.tick = ++tick_;  // LRU touch
+      fut = it->second.fut;
     } else {
       fut = mine.get_future().share();
-      map_.emplace(key, fut);
+      Entry e;
+      e.fut = fut;
+      e.tick = ++tick_;
+      sh.map.emplace(key, std::move(e));
+      entries_.fetch_add(1, std::memory_order_relaxed);
       builder = true;
     }
   }
   if (hit != nullptr) *hit = !builder;
-  if (!builder) return fut.get();  // blocks until the builder finishes
+  if (!builder) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return fut.get();  // blocks until the builder finishes
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
 
   try {
     Ptr built = std::make_shared<const Orthogonal2Layer>(build());
-    note_built(key, *built);
+    const std::size_t entry_bytes = key.size() + approx_layout_bytes(*built);
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      auto it = sh.map.find(key);
+      if (it != sh.map.end()) {  // absent only if clear() raced the build
+        it->second.built = true;
+        it->second.bytes = entry_bytes;
+        bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
+      }
+    }
     mine.set_value(std::move(built));
+    note_built(key, entry_bytes);
   } catch (...) {
+    // Deterministic failures stay as poisoned entries so every job sharing
+    // the spec fails identically. Cancellation and transient failures are
+    // *not* properties of the spec: erase the entry so a later job (a retry,
+    // or one with a fresh deadline) rebuilds instead of inheriting the error.
+    bool keep = true;
+    try {
+      throw;
+    } catch (const CancelledError&) {
+      keep = false;
+    } catch (const TransientError&) {
+      keep = false;
+    } catch (...) {
+    }
+    if (keep) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      auto it = sh.map.find(key);
+      if (it != sh.map.end()) {
+        it->second.built = true;
+        it->second.bytes = key.size();
+        bytes_.fetch_add(key.size(), std::memory_order_relaxed);
+      }
+    } else {
+      erase_entry(key);
+    }
     mine.set_exception(std::current_exception());
   }
   return fut.get();
 }
 
-void OrthoCache::note_built(const std::string& key,
-                            const Orthogonal2Layer& layout) {
-  const std::size_t entry_bytes = key.size() + approx_layout_bytes(layout);
-  DiagnosticSink* warn_sink = nullptr;
-  std::size_t entries = 0;
+void OrthoCache::note_built(const std::string& key, std::size_t /*bytes*/) {
+  maybe_warn_soft_capacity();
+  enforce_capacity(key);
+  publish_gauges();
+}
+
+void OrthoCache::erase_entry(const std::string& key) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.map.find(key);
+  if (it == sh.map.end()) return;
+  bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+  sh.map.erase(it);
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void OrthoCache::enforce_capacity(const std::string& protected_key) {
+  std::size_t max_entries, max_bytes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    bytes_ += entry_bytes;
-    entries = map_.size();
+    std::lock_guard<std::mutex> lock(cfg_mu_);
+    max_entries = max_entries_;
+    max_bytes = max_bytes_;
+  }
+  if (max_entries == 0 && max_bytes == 0) return;
+
+  auto over = [&] {
+    return (max_entries != 0 &&
+            entries_.load(std::memory_order_relaxed) > max_entries) ||
+           (max_bytes != 0 &&
+            bytes_.load(std::memory_order_relaxed) > max_bytes);
+  };
+  while (over()) {
+    // Exact LRU victim: smallest recency tick over all built entries. The
+    // scan locks one shard at a time (bounded by the entry capacity) and
+    // only runs on the eviction path — hits never pay for it.
+    std::string victim;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    std::size_t victim_shard = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      for (const auto& [k, e] : shards_[s].map) {
+        if (!e.built || k == protected_key) continue;  // never in-flight/self
+        if (e.tick < oldest) {
+          oldest = e.tick;
+          victim = k;
+          victim_shard = s;
+        }
+      }
+    }
+    if (victim.empty()) return;  // nothing evictable yet
+    {
+      Shard& sh = shards_[victim_shard];
+      std::lock_guard<std::mutex> lock(sh.mu);
+      auto it = sh.map.find(victim);
+      if (it != sh.map.end() && it->second.built) {
+        bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+        sh.map.erase(it);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter_add("engine.cache.evicted");
+      }
+    }
+  }
+}
+
+void OrthoCache::maybe_warn_soft_capacity() {
+  DiagnosticSink* warn_sink = nullptr;
+  std::size_t soft = 0;
+  const std::size_t entries = entries_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cfg_mu_);
     if (soft_capacity_ != 0 && entries > soft_capacity_ && !overflowed_) {
       overflowed_ = true;
       warn_sink = sink_;
+      soft = soft_capacity_;
       obs::counter_add("engine.cache.soft_overflow");
     }
-    publish_gauges_locked();
   }
   if (warn_sink != nullptr) {
     Diagnostic d;
     d.code = Code::kCacheCapacity;
     d.severity = Severity::kWarning;
     d.detail = std::to_string(entries) + " entries > soft capacity " +
-               std::to_string(soft_capacity_) +
+               std::to_string(soft) +
                "; consider clearing or bounding the topology cache";
     warn_sink->report(std::move(d));
   }
 }
 
-void OrthoCache::publish_gauges_locked() const {
-  obs::gauge_set("engine.cache.size", static_cast<double>(map_.size()));
-  obs::gauge_set("engine.cache.bytes", static_cast<double>(bytes_));
+void OrthoCache::poll_soft_capacity() { maybe_warn_soft_capacity(); }
+
+void OrthoCache::publish_gauges() const {
+  obs::gauge_set("engine.cache.size",
+                 static_cast<double>(entries_.load(std::memory_order_relaxed)));
+  obs::gauge_set("engine.cache.bytes",
+                 static_cast<double>(bytes_.load(std::memory_order_relaxed)));
+}
+
+void OrthoCache::set_capacity(std::size_t max_entries, std::size_t max_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(cfg_mu_);
+    max_entries_ = max_entries;
+    max_bytes_ = max_bytes;
+  }
+  enforce_capacity({});
+  publish_gauges();
+}
+
+std::size_t OrthoCache::capacity() const {
+  std::lock_guard<std::mutex> lock(cfg_mu_);
+  return max_entries_;
+}
+
+std::size_t OrthoCache::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(cfg_mu_);
+  return max_bytes_;
 }
 
 std::size_t OrthoCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  return entries_.load(std::memory_order_relaxed);
 }
 
 std::size_t OrthoCache::approx_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return bytes_;
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+CacheStats OrthoCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void OrthoCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  bytes_ = 0;
-  overflowed_ = false;
-  publish_gauges_locked();
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.map.clear();
+  }
+  entries_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cfg_mu_);
+    overflowed_ = false;
+  }
+  publish_gauges();
 }
 
 void OrthoCache::set_soft_capacity(std::size_t entries, DiagnosticSink* sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(cfg_mu_);
   soft_capacity_ = entries;
   sink_ = sink;
 }
 
 std::size_t OrthoCache::soft_capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(cfg_mu_);
   return soft_capacity_;
 }
 
 bool OrthoCache::overflowed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(cfg_mu_);
   return overflowed_;
+}
+
+void OrthoCache::rearm_soft_warning() {
+  std::lock_guard<std::mutex> lock(cfg_mu_);
+  overflowed_ = false;
 }
 
 }  // namespace mlvl::engine

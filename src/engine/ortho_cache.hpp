@@ -1,5 +1,5 @@
-// Concurrent build-once cache of orthogonal layouts, keyed by canonical
-// family-spec text.
+// Concurrent, capacity-bounded, build-once cache of orthogonal layouts,
+// keyed by canonical family-spec text.
 //
 // The expensive half of a layout job — topology generation, collinear
 // factors, placement, interval/track assignment — depends only on the family
@@ -7,19 +7,38 @@
 // should build the `Orthogonal2Layer` exactly once. `get_or_build` guarantees
 // that under concurrency: the first caller for a key becomes the builder,
 // every other caller blocks on a shared future of the same result. A build
-// that throws poisons its entry (all waiters see the exception), keeping
-// failures deterministic per spec.
+// that throws a *deterministic* error poisons its entry (all waiters see the
+// same exception, keeping failures deterministic per spec); a build that is
+// cancelled (CancelledError) or fails transiently (TransientError) erases
+// its entry instead, so one job's deadline never poisons the spec for every
+// later job.
 //
-// Observability and capacity: every successful build updates the
-// `engine.cache.size` and `engine.cache.bytes` gauges (approximate resident
-// footprint, from the per-layout vector sizes), and the first growth past
-// the soft capacity emits one `Code::kCacheCapacity` warning to the
-// configured sink plus an `engine.cache.soft_overflow` counter tick. The
-// soft capacity does not evict — it is the tripwire that the future LRU
-// policy will act on.
+// Capacity and eviction: `set_capacity(entries, bytes)` arms hard limits
+// (0 = unbounded). When an insert pushes the cache over either limit, the
+// least-recently-used *built* entry is evicted (in-flight builds and the
+// entry just inserted are never victims). Recency is a global monotonic tick
+// stamped on every hit, so LRU order is exact even though the map is sharded.
+// The key space is split over `kShards` independently locked shards, so a
+// hit — the hot path of a million-request sweep — takes one shard lock, and
+// eviction bookkeeping never serializes the worker pool behind a single
+// mutex. Victim selection scans the shards (bounded by the entry capacity,
+// and only on the eviction path).
+//
+// Observability: hits, misses and evictions are counted both internally
+// (`stats()`) and on the obs registry (`engine.cache.evicted`); every
+// successful build or eviction updates the `engine.cache.size` and
+// `engine.cache.bytes` gauges. The *soft* capacity is the pre-eviction
+// tripwire: the first growth past it emits one `Code::kCacheCapacity`
+// warning to the configured sink plus an `engine.cache.soft_overflow`
+// counter tick; `rearm_soft_warning` resets the one-shot latch (the batch
+// engine re-arms per sweep so every over-capacity sweep warns, not only the
+// first in the process).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -36,37 +55,89 @@ namespace mlvl::engine {
 /// per-edge classification/track arrays, band track counts, extras).
 [[nodiscard]] std::size_t approx_layout_bytes(const Orthogonal2Layer& o);
 
+/// Monotonic cache telemetry (totals since construction or clear()).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
 class OrthoCache {
  public:
   using Ptr = std::shared_ptr<const Orthogonal2Layer>;
 
   /// Returns the layout for `key`, invoking `build` at most once per key
   /// across all threads. `*hit` (optional) is false only for the caller that
-  /// actually built. Rethrows the builder's exception for every caller.
+  /// actually built. Rethrows the builder's exception for every co-waiter.
   Ptr get_or_build(const std::string& key,
                    const std::function<Orthogonal2Layer()>& build,
                    bool* hit = nullptr);
 
+  /// Hard capacity limits; eviction keeps the cache at or under both.
+  /// 0 = unbounded (the default). Safe to call between batches; an
+  /// over-capacity cache shrinks on the next insert.
+  void set_capacity(std::size_t max_entries, std::size_t max_bytes = 0);
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] std::size_t capacity_bytes() const;
+
   [[nodiscard]] std::size_t size() const;
   /// Approximate bytes held by all successfully built entries.
   [[nodiscard]] std::size_t approx_bytes() const;
+  [[nodiscard]] CacheStats stats() const;
   void clear();
 
   /// Entries past which the cache warns (0 = unbounded, the default).
   /// `sink` (optional, non-owning, must outlive the cache) receives one
-  /// kWarning diagnostic the first time the capacity is crossed.
+  /// kWarning diagnostic per armed period when the capacity is crossed.
   void set_soft_capacity(std::size_t entries, DiagnosticSink* sink = nullptr);
   [[nodiscard]] std::size_t soft_capacity() const;
-  /// True once the cache has ever grown past its soft capacity.
+  /// True once the cache has grown past its soft capacity since last re-arm.
   [[nodiscard]] bool overflowed() const;
+  /// Re-arm the one-shot soft-capacity warning (e.g. at the start of a new
+  /// sweep) so the next crossing warns again.
+  void rearm_soft_warning();
+  /// Emit the soft-capacity warning now if the cache is over the soft limit
+  /// and the latch is armed — catches the all-hits batch where no insert
+  /// would otherwise re-check.
+  void poll_soft_capacity();
 
  private:
-  void note_built(const std::string& key, const Orthogonal2Layer& layout);
-  void publish_gauges_locked() const;
+  struct Entry {
+    std::shared_future<Ptr> fut;
+    std::size_t bytes = 0;      ///< key + layout footprint once built
+    bool built = false;         ///< future is ready (value or poison)
+    std::uint64_t tick = 0;     ///< global recency stamp (larger = newer)
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> map;
+  };
+  static constexpr std::size_t kShards = 8;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_future<Ptr>> map_;
-  std::size_t bytes_ = 0;          ///< sum over built entries
+  Shard& shard_for(const std::string& key);
+  /// Record a finished build: charge bytes, then evict past-capacity LRU
+  /// entries and fire the soft-capacity tripwire.
+  void note_built(const std::string& key, std::size_t entry_bytes);
+  /// Drop the entry for a cancelled/transient build.
+  void erase_entry(const std::string& key);
+  void enforce_capacity(const std::string& protected_key);
+  void maybe_warn_soft_capacity();
+  void publish_gauges() const;
+
+  std::array<Shard, kShards> shards_;
+
+  std::atomic<std::size_t> entries_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> tick_{0};
+
+  mutable std::mutex cfg_mu_;      ///< capacity / soft-warning configuration
+  std::size_t max_entries_ = 0;    ///< 0 = unbounded
+  std::size_t max_bytes_ = 0;      ///< 0 = unbounded
   std::size_t soft_capacity_ = 0;  ///< 0 = unbounded
   bool overflowed_ = false;
   DiagnosticSink* sink_ = nullptr;

@@ -1,10 +1,12 @@
 #include "engine/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
 
+#include "engine/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -31,7 +33,46 @@ Orthogonal2Layer build_family_or_throw(const api::FamilySpec& spec) {
   return std::move(*o);
 }
 
+/// Deterministic backoff for retry `attempt` of job `i`: exponential base
+/// plus a splitmix-style jitter in [0, base) derived only from (i, attempt),
+/// so -j1 and -jN runs sleep identically and tests can predict schedules.
+std::uint64_t backoff_ms(std::uint32_t base_ms, std::size_t i,
+                         std::uint32_t attempt) {
+  if (base_ms == 0) return 0;
+  const std::uint32_t exp = std::min<std::uint32_t>(attempt - 1, 10);
+  const std::uint64_t base = static_cast<std::uint64_t>(base_ms) << exp;
+  std::uint64_t h =
+      (static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL) ^ attempt;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return base + h % base;
+}
+
 }  // namespace
+
+const char* verdict_name(JobVerdict v) {
+  switch (v) {
+    case JobVerdict::kOk: return "ok";
+    case JobVerdict::kRetried: return "retried";
+    case JobVerdict::kFailed: return "failed";
+    case JobVerdict::kDeadline: return "deadline";
+    case JobVerdict::kSkipped: return "skipped";
+  }
+  return "failed";
+}
+
+bool verdict_from_name(std::string_view name, JobVerdict& out) {
+  for (JobVerdict v : {JobVerdict::kOk, JobVerdict::kRetried,
+                       JobVerdict::kFailed, JobVerdict::kDeadline,
+                       JobVerdict::kSkipped}) {
+    if (name == verdict_name(v)) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
 
 bool SweepReport::all_ok() const {
   for (const JobResult& j : jobs)
@@ -42,6 +83,12 @@ bool SweepReport::all_ok() const {
 SweepTotals SweepReport::totals() const {
   SweepTotals t;
   for (const JobResult& j : jobs) {
+    switch (j.verdict) {
+      case JobVerdict::kRetried: ++t.retried; break;
+      case JobVerdict::kDeadline: ++t.deadline; break;
+      case JobVerdict::kSkipped: ++t.skipped; break;
+      default: break;
+    }
     if (!j.ok) {
       ++t.failed;
       continue;
@@ -62,7 +109,7 @@ double SweepReport::utilization() const {
   return denom > 0 ? busy_ms / denom : 0;
 }
 
-BatchLayoutEngine::BatchLayoutEngine(SweepOptions opt) : opt_(opt) {}
+BatchLayoutEngine::BatchLayoutEngine(SweepOptions opt) : opt_(std::move(opt)) {}
 
 SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
   obs::Span sweep_span("engine.sweep");
@@ -72,15 +119,22 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
   SweepReport report;
   report.jobs.resize(jobs.size());
 
-  // Route cache soft-capacity warnings into this batch's report.
+  // Route cache soft-capacity warnings into this batch's report, re-arming
+  // the one-shot latch so every over-capacity sweep warns, not only the
+  // first in the process. Hard bounds apply from this batch on; shrinking
+  // the capacity between batches evicts down on the next insert.
   DiagnosticSink cache_sink(16);
   cache_.set_soft_capacity(opt_.cache_soft_capacity, &cache_sink);
+  cache_.rearm_soft_warning();
+  cache_.set_capacity(opt_.cache_capacity, opt_.cache_capacity_bytes);
+  const CacheStats cache_before = cache_.stats();
 
   // Canonicalize every spec up front, serially: deterministic, cheap, and a
   // bad spec fails its slot without ever occupying a worker.
   const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
   std::vector<std::string> keys(jobs.size());
   std::vector<bool> runnable(jobs.size(), false);
+  std::vector<bool> resumed(jobs.size(), false);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     JobResult& r = report.jobs[i];
     r.spec = jobs[i].spec;
@@ -101,6 +155,24 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
     r.spec = std::move(*canon);
     keys[i] = api::format_family_spec(r.spec);
     runnable[i] = true;
+
+    // Resume prologue: a job whose spec×L key is in the journal reproduces
+    // its recorded result here, byte-identical in submission order, and
+    // never reaches a worker (so the topology cache stays cold for it).
+    if (opt_.resume != nullptr) {
+      const JobResult* rec = opt_.resume->find(sweep_job_key(r.spec, r.L));
+      if (rec != nullptr) {
+        api::FamilySpec spec = std::move(r.spec);
+        r = *rec;
+        r.spec = std::move(spec);
+        r.L = jobs[i].options.L;
+        r.resumed = true;
+        runnable[i] = false;
+        resumed[i] = true;
+        ++report.resumed;
+        obs::counter_add("engine.jobs.resumed");
+      }
+    }
   }
 
   unsigned threads = opt_.threads != 0 ? opt_.threads
@@ -110,6 +182,13 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
   if (threads == 0) threads = 1;
   report.threads = threads;
 
+  // Sweep-wide budget: child of the external request_cancel() token so a
+  // daemon shutdown and a sweep deadline share one cooperative path.
+  CancelToken sweep_token(&external_cancel_);
+  if (opt_.sweep_deadline_ms != 0)
+    sweep_token.set_deadline_after_ms(opt_.sweep_deadline_ms);
+
+  std::atomic<std::uint64_t> transient_failures{0};
   std::atomic<std::size_t> next{0};
   auto worker = [&](unsigned wid) {
     // Per-worker latency histograms let a regression be localized: one slow
@@ -123,7 +202,18 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
       JobResult& r = report.jobs[i];
+      if (resumed[i]) continue;  // reproduced from the journal, not a failure
       if (!runnable[i]) {
+        obs::counter_add("engine.jobs.failed");
+        continue;
+      }
+      // A sweep budget tripped before this job started: structured skip,
+      // no pipeline work, partial report stays deterministic.
+      if (sweep_token.tripped()) {
+        r.ok = false;
+        r.verdict = JobVerdict::kSkipped;
+        r.error = std::string(sweep_token.reason()) + " before job start";
+        obs::counter_add("engine.deadline.sweep");
         obs::counter_add("engine.jobs.failed");
         continue;
       }
@@ -131,9 +221,20 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
       obs::histogram_record("engine.queue_wait_ms", r.queue_wait_ms);
       if (per_worker) obs::histogram_record(wq, r.queue_wait_ms);
       const Clock::time_point job_t0 = Clock::now();
-      {
+      for (std::uint32_t attempt = 1;; ++attempt) {
+        r.attempts = attempt;
+        // Fresh per-attempt token: a retry gets a full job budget, and the
+        // parent link makes the sweep deadline observable mid-pipeline.
+        CancelToken job_token(&sweep_token);
+        if (opt_.job_deadline_ms != 0)
+          job_token.set_deadline_after_ms(opt_.job_deadline_ms);
+        CancelScope scope(&job_token);
         obs::Span job_span("engine.job");
+        bool transient = false;
         try {
+          if (opt_.inject_fault && opt_.inject_fault(i, attempt))
+            throw TransientError("injected transient fault");
+
           OrthoCache::Ptr ortho;
           bool hit = false;
           if (opt_.use_cache) {
@@ -156,15 +257,62 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
           r.nodes = res.nodes;
           r.edges = res.edges;
           r.metrics = std::move(res.metrics);
+          r.verdict = r.ok
+                          ? (attempt > 1 ? JobVerdict::kRetried : JobVerdict::kOk)
+                          : JobVerdict::kFailed;
+          break;
+        } catch (const CancelledError& ex) {
+          if (job_token.tripped()) {
+            // Our own budget (or the sweep's, mid-flight): structured
+            // deadline verdict instead of a hung worker.
+            r.ok = false;
+            r.verdict = JobVerdict::kDeadline;
+            r.error = ex.what();
+            obs::counter_add(sweep_token.tripped_flag_only()
+                                 ? "engine.deadline.sweep"
+                                 : "engine.deadline.job");
+            break;
+          }
+          // A co-waited cache build was cancelled by *another* job's
+          // deadline; our budget is intact, so treat it as transient and
+          // rebuild (the cache erased the cancelled entry).
+          transient = true;
+          r.error = ex.what();
+        } catch (const TransientError& ex) {
+          transient = true;
+          r.error = ex.what();
         } catch (const std::exception& ex) {
           r.ok = false;
+          r.verdict = JobVerdict::kFailed;
           r.error = ex.what();
+          break;
+        }
+        if (transient) {
+          transient_failures.fetch_add(1, std::memory_order_relaxed);
+          obs::counter_add("engine.retry.attempts");
+          if (attempt > opt_.max_retries) {
+            r.ok = false;
+            r.verdict = JobVerdict::kFailed;
+            r.error = "transient failure persisted past retry budget: " +
+                      r.error;
+            obs::counter_add("engine.retry.exhausted");
+            break;
+          }
+          const std::uint64_t delay =
+              backoff_ms(opt_.retry_backoff_ms, i, attempt);
+          if (delay != 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
         }
       }
+      if (r.verdict == JobVerdict::kRetried)
+        obs::counter_add("engine.retry.success");
       r.run_ms = ms_since(job_t0);
       obs::histogram_record("engine.job_ms", r.run_ms);
       if (per_worker) obs::histogram_record(wj, r.run_ms);
       obs::counter_add(r.ok ? "engine.jobs.completed" : "engine.jobs.failed");
+      // Checkpoint: one flushed line per finished job (the journal itself
+      // ignores deadline/skip verdicts — those re-run on resume).
+      if (opt_.journal != nullptr) opt_.journal->record(r);
     }
   };
 
@@ -180,22 +328,40 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
   report.wall_ms = ms_since(t0);
   for (const JobResult& j : report.jobs) report.busy_ms += j.run_ms;
   for (std::size_t i = 0; i < report.jobs.size(); ++i) {
-    if (!runnable[i]) continue;
+    if (!runnable[i] || report.jobs[i].attempts == 0) continue;
+    if (report.jobs[i].verdict == JobVerdict::kDeadline ||
+        report.jobs[i].verdict == JobVerdict::kSkipped)
+      continue;  // never reached (or never finished) the cache lookup
     if (report.jobs[i].cache_hit)
       ++report.cache_hits;
     else
       ++report.cache_misses;
   }
+  report.retry_attempts = transient_failures.load(std::memory_order_relaxed);
   obs::gauge_set("engine.threads", threads);
   obs::gauge_set("engine.wall_ms", report.wall_ms);
   obs::gauge_set("engine.utilization", report.utilization());
 
+  // Sweep-level budget outcome, as a structured warning the CLI can surface.
+  if (sweep_token.tripped()) {
+    Diagnostic d;
+    d.code = Code::kSweepDeadline;
+    d.severity = Severity::kWarning;
+    d.detail = sweep_token.reason();
+    report.warnings.push_back(std::move(d));
+  }
+
   // Cache telemetry + any soft-capacity warning raised during this batch.
-  // The sink is stack-local, so detach it before returning.
-  report.cache_entries = cache_.size();
-  report.cache_bytes = cache_.approx_bytes();
+  // poll first: an all-hits batch performs no insert, so the soft tripwire
+  // would otherwise stay silent even though the cache is over the limit.
+  cache_.poll_soft_capacity();
+  const CacheStats cache_after = cache_.stats();
+  report.cache_evictions = cache_after.evictions - cache_before.evictions;
+  report.cache_entries = cache_after.entries;
+  report.cache_bytes = cache_after.bytes;
   for (const Diagnostic& d : cache_sink.diagnostics())
     report.warnings.push_back(d);
+  // The sink is stack-local, so detach it before returning.
   cache_.set_soft_capacity(opt_.cache_soft_capacity, nullptr);
   return report;
 }

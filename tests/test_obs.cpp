@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "core/cancel.hpp"
 #include "core/checker.hpp"
 #include "core/diagnostics.hpp"
 #include "core/fold.hpp"
@@ -318,6 +319,50 @@ TEST(Obs, PipelineEmitsEveryPhaseSpanAndExactGauges) {
   EXPECT_GE(h->count, o.graph.num_edges());
 }
 
+TEST(Obs, CancellationUnwindsWithBalancedSpans) {
+  // A pre-tripped token makes the first routing checkpoint throw
+  // CancelledError from *inside* the live "routing" span; the RAII spans
+  // must still record (balanced trace), and the sink totals must reflect
+  // only what was actually reported — cancellation is cooperative, never
+  // a torn trace or a phantom diagnostic.
+  Orthogonal2Layer o = layout::layout_hypercube(4);
+  obs::TraceSession session;
+  obs::MetricsRegistry reg;
+  session.install();
+  reg.install();
+  DiagnosticSink sink;
+  CancelToken token;
+  token.cancel("cancelled by test");
+  bool unwound = false;
+  try {
+    CancelScope scope(&token);
+    obs::Span job("engine.job");  // the span an engine worker would hold
+    (void)realize(o, {.L = 4});
+    ADD_FAILURE() << "realize completed despite a tripped token";
+  } catch (const CancelledError& ex) {
+    unwound = true;
+    EXPECT_STREQ(ex.phase(), "routing");
+    EXPECT_STREQ(ex.reason(), "cancelled by test");
+  }
+  obs::TraceSession::uninstall();
+  obs::MetricsRegistry::uninstall();
+  ASSERT_TRUE(unwound);
+  // Both the span the exception crossed and the enclosing one completed.
+  EXPECT_TRUE(session.has_span("routing"));
+  EXPECT_TRUE(session.has_span("engine.job"));
+  ASSERT_GE(session.size(), 2u);
+  // The enclosing span closed last and covers the one it unwound through.
+  const std::vector<obs::TraceEvent> events = session.events();
+  EXPECT_STREQ(events.back().name, "engine.job");
+  EXPECT_EQ(events.back().depth, 0u);
+  // Cancellation is not an error report: the sink stays clean, and with the
+  // scope gone the thread is back on the one-branch disabled fast path.
+  EXPECT_EQ(sink.total_errors(), 0u);
+  EXPECT_EQ(sink.total_warnings(), 0u);
+  EXPECT_FALSE(cancel_enabled());
+  poll_cancellation("routing");  // must be a no-op, not a throw
+}
+
 TEST(Obs, DisabledPipelineRecordsNothing) {
   ASSERT_FALSE(obs::tracing_enabled());
   ASSERT_FALSE(obs::metrics_enabled());
@@ -339,6 +384,9 @@ TEST(UsageText, NamesTheInstalledBinaryAndEveryFlagFamily) {
         "-L <layers>", "-svg", "-congestion", "-nocheck", "-repair",
         "-baseline", "-save-baseline", "-disable", "-transparent",
         "sweep <spec-range>", "-j <N>", "-nocache", "hypercube(n=4..8)",
+        "--deadline <ms>", "--sweep-deadline <ms>", "--retries <N>",
+        "--cache-capacity <N>", "--journal <file>", "--resume <file>",
+        "layout_tool soak", "-iters <N>", "-seed <N>", "-fault-rate <pct>",
         "bench-diff <baseline.json> <current.json>", "--max-regress",
         "--noise-floor", "--json", "--save-baseline", "--metrics-interval",
         "exit codes: 0 valid, 1 invalid, 2 parse error, 3 usage"})

@@ -1,0 +1,491 @@
+// Resource governance and failure containment: deadlines yield structured
+// verdicts (never hung workers), transient failures retry deterministically,
+// the bounded LRU cache evicts cold entries and keeps hot ones, the crash
+// journal round-trips every finished job, and a killed-and-resumed sweep is
+// byte-identical to an uninterrupted one — all under injected chaos.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "engine/journal.hpp"
+#include "engine/sweep.hpp"
+
+namespace mlvl::engine {
+namespace {
+
+std::vector<SweepJob> hypercube_grid(std::uint32_t n_lo, std::uint32_t n_hi,
+                                     std::uint32_t l_lo, std::uint32_t l_hi) {
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  std::vector<SweepJob> jobs;
+  for (std::uint32_t n = n_lo; n <= n_hi; ++n) {
+    std::optional<api::FamilySpec> spec =
+        reg.parse("hypercube(n=" + std::to_string(n) + ")");
+    for (std::uint32_t L = l_lo; L <= l_hi; ++L)
+      jobs.push_back({*spec, {.L = L}});
+  }
+  return jobs;
+}
+
+/// Deterministic view of one result: excludes timings and cache_hit (which
+/// job of a same-spec group builds is scheduling-dependent).
+std::string fingerprint(const JobResult& j) {
+  std::ostringstream os;
+  os << api::format_family_spec(j.spec) << " L=" << j.L << " ok=" << j.ok
+     << " verdict=" << verdict_name(j.verdict) << " err=" << j.error
+     << " nodes=" << j.nodes << " edges=" << j.edges
+     << " area=" << j.metrics.area << " vol=" << j.metrics.volume
+     << " wire=" << j.metrics.total_wire_length
+     << " vias=" << j.metrics.via_count;
+  return os.str();
+}
+
+std::string fingerprint(const SweepReport& r) {
+  std::ostringstream os;
+  for (const JobResult& j : r.jobs) os << fingerprint(j) << "\n";
+  return os.str();
+}
+
+/// RAII temp file: removed on scope exit so test reruns start clean.
+struct TempFile {
+  explicit TempFile(const char* name) : path(name) { std::remove(name); }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+// ---------------------------------------------------------------- verdicts
+
+TEST(Governance, VerdictNamesRoundTrip) {
+  for (JobVerdict v : {JobVerdict::kOk, JobVerdict::kRetried,
+                       JobVerdict::kFailed, JobVerdict::kDeadline,
+                       JobVerdict::kSkipped}) {
+    JobVerdict back = JobVerdict::kOk;
+    ASSERT_TRUE(verdict_from_name(verdict_name(v), back)) << verdict_name(v);
+    EXPECT_EQ(back, v);
+  }
+  JobVerdict ignored = JobVerdict::kOk;
+  EXPECT_FALSE(verdict_from_name("bogus", ignored));
+  EXPECT_FALSE(verdict_from_name("", ignored));
+}
+
+// ------------------------------------------------------------------- retry
+
+TEST(Governance, TransientFaultRetriesToSuccess) {
+  // Every job's first attempt fails transiently; the second succeeds.
+  std::vector<SweepJob> jobs = hypercube_grid(3, 4, 2, 3);
+  SweepOptions opt;
+  opt.threads = 2;
+  opt.max_retries = 2;
+  opt.retry_backoff_ms = 0;
+  opt.inject_fault = [](std::size_t, std::uint32_t attempt) {
+    return attempt == 1;
+  };
+  SweepReport r = run_sweep(jobs, opt);
+  ASSERT_TRUE(r.all_ok());
+  EXPECT_EQ(r.retry_attempts, jobs.size());
+  for (const JobResult& j : r.jobs) {
+    EXPECT_EQ(j.verdict, JobVerdict::kRetried) << fingerprint(j);
+    EXPECT_EQ(j.attempts, 2u);
+    EXPECT_GT(j.metrics.area, 0u);
+  }
+  EXPECT_EQ(r.totals().retried, jobs.size());
+  EXPECT_EQ(r.totals().ok, jobs.size());
+}
+
+TEST(Governance, ExhaustedRetryBudgetFailsWithStructuredError) {
+  std::vector<SweepJob> jobs = hypercube_grid(3, 3, 2, 2);
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.max_retries = 2;
+  opt.retry_backoff_ms = 0;
+  opt.inject_fault = [](std::size_t, std::uint32_t) { return true; };
+  SweepReport r = run_sweep(jobs, opt);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  const JobResult& j = r.jobs[0];
+  EXPECT_FALSE(j.ok);
+  EXPECT_EQ(j.verdict, JobVerdict::kFailed);
+  EXPECT_EQ(j.attempts, 3u);  // 1 initial + 2 retries
+  EXPECT_NE(j.error.find("transient failure persisted"), std::string::npos)
+      << j.error;
+  EXPECT_EQ(r.totals().failed, 1u);
+}
+
+TEST(Governance, RetriedResultsMatchUnfaultedRun) {
+  // Chaos must not change what a successful job computes.
+  std::vector<SweepJob> jobs = hypercube_grid(3, 5, 2, 3);
+  SweepOptions chaos;
+  chaos.threads = 4;
+  chaos.max_retries = 3;
+  chaos.retry_backoff_ms = 0;
+  chaos.inject_fault = [](std::size_t job, std::uint32_t attempt) {
+    return attempt == 1 && job % 2 == 0;  // half the jobs hiccup once
+  };
+  SweepReport faulted = run_sweep(jobs, chaos);
+  SweepReport clean = run_sweep(jobs, {.threads = 1});
+  ASSERT_TRUE(faulted.all_ok());
+  ASSERT_EQ(faulted.jobs.size(), clean.jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobResult& f = faulted.jobs[i];
+    const JobResult& c = clean.jobs[i];
+    EXPECT_EQ(f.metrics.area, c.metrics.area) << i;
+    EXPECT_EQ(f.metrics.volume, c.metrics.volume) << i;
+    EXPECT_EQ(f.metrics.total_wire_length, c.metrics.total_wire_length) << i;
+    EXPECT_EQ(f.metrics.via_count, c.metrics.via_count) << i;
+    EXPECT_EQ(f.verdict, i % 2 == 0 ? JobVerdict::kRetried : JobVerdict::kOk);
+  }
+}
+
+// --------------------------------------------------------------- deadlines
+
+TEST(Governance, JobDeadlineYieldsStructuredVerdictNotAHungWorker) {
+  // A 1 ms budget on a 1024-node hypercube trips inside the pipeline; the
+  // job comes back kDeadline with a phase-stamped error, and an unbudgeted
+  // sibling in the same batch still succeeds.
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  std::vector<SweepJob> jobs;
+  jobs.push_back({*reg.parse("hypercube(n=10)"), {.L = 2}});
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.job_deadline_ms = 1;
+  SweepReport r = run_sweep(jobs, opt);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  const JobResult& j = r.jobs[0];
+  EXPECT_FALSE(j.ok);
+  EXPECT_EQ(j.verdict, JobVerdict::kDeadline);
+  EXPECT_NE(j.error.find("deadline exceeded"), std::string::npos) << j.error;
+  EXPECT_NE(j.error.find("in phase"), std::string::npos) << j.error;
+  EXPECT_EQ(r.totals().deadline, 1u);
+
+  // The deadline is per job, not per engine: the next batch runs unbudgeted.
+  SweepReport ok = run_sweep({{*reg.parse("hypercube(n=3)"), {.L = 2}}}, {});
+  EXPECT_TRUE(ok.all_ok());
+}
+
+TEST(Governance, SweepDeadlineSkipsUnstartedJobs) {
+  // One worker, a 1 ms whole-batch budget, and four slow jobs: the batch
+  // cannot finish, and every job resolves as deadline or skipped — with the
+  // tail deterministically skipped because the budget tripped before pickup.
+  std::vector<SweepJob> jobs = hypercube_grid(9, 10, 2, 3);
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.sweep_deadline_ms = 1;
+  SweepReport r = run_sweep(jobs, opt);
+  ASSERT_EQ(r.jobs.size(), jobs.size());
+  SweepTotals t = r.totals();
+  EXPECT_EQ(t.ok, 0u);
+  EXPECT_EQ(t.deadline + t.skipped, jobs.size());
+  EXPECT_GE(t.skipped, 1u);  // the tail never started
+  for (const JobResult& j : r.jobs) {
+    EXPECT_FALSE(j.ok);
+    EXPECT_TRUE(j.verdict == JobVerdict::kDeadline ||
+                j.verdict == JobVerdict::kSkipped)
+        << verdict_name(j.verdict);
+    if (j.verdict == JobVerdict::kSkipped) {
+      EXPECT_EQ(j.attempts, 0u);
+    }
+  }
+  // A tripped sweep budget surfaces in the report's warnings.
+  bool warned = false;
+  for (const Diagnostic& d : r.warnings)
+    if (d.code == Code::kSweepDeadline) warned = true;
+  EXPECT_TRUE(warned);
+}
+
+TEST(Governance, ExternalCancelSkipsTheWholeBatch) {
+  BatchLayoutEngine eng({.threads = 2});
+  eng.request_cancel();  // shutdown before the batch: nothing should run
+  SweepReport r = eng.run(hypercube_grid(3, 4, 2, 2));
+  for (const JobResult& j : r.jobs) {
+    EXPECT_EQ(j.verdict, JobVerdict::kSkipped) << verdict_name(j.verdict);
+    EXPECT_EQ(j.attempts, 0u);
+  }
+}
+
+// --------------------------------------------------------- bounded cache
+
+TEST(Governance, HardCapacityEvictsLeastRecentlyUsed) {
+  // 4 unique specs through a 2-entry cache: at least 2 evictions, and the
+  // cache never holds more than its bound.
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.cache_capacity = 2;
+  BatchLayoutEngine eng(opt);
+  SweepReport r = eng.run(hypercube_grid(3, 6, 2, 2));
+  ASSERT_TRUE(r.all_ok());
+  EXPECT_EQ(r.cache_misses, 4u);
+  EXPECT_GE(r.cache_evictions, 2u);
+  EXPECT_LE(eng.cache_size(), 2u);
+  EXPECT_LE(r.cache_entries, 2u);
+}
+
+TEST(Governance, RecentlyTouchedEntrySurvivesEviction) {
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.cache_capacity = 2;
+  BatchLayoutEngine eng(opt);
+  // Build A and B, then touch A so B is the LRU victim when C arrives.
+  ASSERT_TRUE(eng.run(hypercube_grid(3, 4, 2, 2)).all_ok());  // A=n3, B=n4
+  SweepReport touch = eng.run(hypercube_grid(3, 3, 2, 2));    // hit A
+  EXPECT_EQ(touch.cache_hits, 1u);
+  EXPECT_EQ(touch.cache_misses, 0u);
+  ASSERT_TRUE(eng.run(hypercube_grid(5, 5, 2, 2)).all_ok());  // C evicts B
+  SweepReport again = eng.run(hypercube_grid(3, 3, 2, 2));    // A still hot
+  EXPECT_EQ(again.cache_hits, 1u);
+  EXPECT_EQ(again.cache_misses, 0u);
+  SweepReport rebuild = eng.run(hypercube_grid(4, 4, 2, 2));  // B was evicted
+  EXPECT_EQ(rebuild.cache_misses, 1u);
+}
+
+TEST(Governance, SoftCapacityWarningReArmsEveryBatch) {
+  // The tripwire is per sweep, not per process: a long-lived engine whose
+  // cache sits over the soft limit warns on every batch, including an
+  // all-hits batch that inserts nothing.
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.cache_soft_capacity = 1;
+  BatchLayoutEngine eng(opt);
+  const std::vector<SweepJob> jobs = hypercube_grid(3, 4, 2, 2);
+  auto warned = [](const SweepReport& r) {
+    for (const Diagnostic& d : r.warnings)
+      if (d.code == Code::kCacheCapacity) return true;
+    return false;
+  };
+  SweepReport first = eng.run(jobs);
+  SweepReport second = eng.run(jobs);  // pure cache hits
+  EXPECT_TRUE(warned(first));
+  EXPECT_TRUE(warned(second));
+  EXPECT_EQ(second.cache_misses, 0u);
+}
+
+// ----------------------------------------------------------------- journal
+
+TEST(Journal, RoundTripsEveryFinishedJob) {
+  TempFile tmp("test_soak_journal_roundtrip.mlvlj");
+  std::vector<SweepJob> jobs = hypercube_grid(3, 4, 2, 3);
+  SweepReport r;
+  {
+    SweepJournal journal(tmp.path);
+    ASSERT_TRUE(journal.valid());
+    SweepOptions opt;
+    opt.threads = 2;
+    opt.journal = &journal;
+    r = run_sweep(jobs, opt);
+    ASSERT_TRUE(r.all_ok());
+    EXPECT_EQ(journal.recorded(), jobs.size());
+  }
+  std::optional<SweepResume> resume = SweepJournal::load(tmp.path);
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->malformed_lines, 0u);
+  EXPECT_EQ(resume->done.size(), jobs.size());
+  for (const JobResult& j : r.jobs) {
+    const JobResult* rec = resume->find(sweep_job_key(j.spec, j.L));
+    ASSERT_NE(rec, nullptr) << sweep_job_key(j.spec, j.L);
+    EXPECT_EQ(rec->verdict, j.verdict);
+    EXPECT_EQ(rec->attempts, j.attempts);
+    EXPECT_EQ(rec->nodes, j.nodes);
+    EXPECT_EQ(rec->edges, j.edges);
+    EXPECT_EQ(rec->metrics.area, j.metrics.area);
+    EXPECT_EQ(rec->metrics.volume, j.metrics.volume);
+    EXPECT_EQ(rec->metrics.total_wire_length, j.metrics.total_wire_length);
+    EXPECT_EQ(rec->metrics.via_count, j.metrics.via_count);
+    EXPECT_TRUE(rec->resumed);
+  }
+}
+
+TEST(Journal, ErrorTextEscapesControlCharacters) {
+  TempFile tmp("test_soak_journal_escape.mlvlj");
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  JobResult r;
+  r.spec = *reg.parse("hypercube(n=3)");
+  r.L = 2;
+  r.verdict = JobVerdict::kFailed;
+  r.attempts = 1;
+  r.error = "tab\there\nnewline\\backslash";
+  {
+    SweepJournal journal(tmp.path);
+    ASSERT_TRUE(journal.valid());
+    journal.record(r);
+  }
+  std::optional<SweepResume> resume = SweepJournal::load(tmp.path);
+  ASSERT_TRUE(resume.has_value());
+  ASSERT_EQ(resume->malformed_lines, 0u);
+  const JobResult* rec = resume->find(sweep_job_key(r.spec, r.L));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->error, r.error);
+  EXPECT_EQ(rec->verdict, JobVerdict::kFailed);
+  EXPECT_FALSE(rec->ok);
+}
+
+TEST(Journal, TornTrailingLineIsCountedNotFatal) {
+  TempFile tmp("test_soak_journal_torn.mlvlj");
+  {
+    SweepJournal journal(tmp.path);
+    SweepOptions opt;
+    opt.threads = 1;
+    opt.journal = &journal;
+    ASSERT_TRUE(run_sweep(hypercube_grid(3, 3, 2, 3), opt).all_ok());
+  }
+  {  // simulate the torn tail a crash leaves: a record cut mid-write
+    std::ofstream os(tmp.path, std::ios::app);
+    os << "hypercube(n=9)|L=2\tverdict=ok\tattempts=1";  // no err= terminator
+  }
+  std::optional<SweepResume> resume = SweepJournal::load(tmp.path);
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->malformed_lines, 1u);
+  EXPECT_EQ(resume->done.size(), 2u);  // the intact records still load
+  EXPECT_EQ(resume->find("hypercube(n=9)|L=2"), nullptr);
+}
+
+TEST(Journal, WrongHeaderAndMissingFileAreStructuredFailures) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(SweepJournal::load("no_such_journal_file.mlvlj").has_value());
+  TempFile tmp("test_soak_journal_badheader.mlvlj");
+  {
+    std::ofstream os(tmp.path);
+    os << "some-other-format-v9\n";
+  }
+  EXPECT_FALSE(SweepJournal::load(tmp.path, &sink).has_value());
+  bool diagnosed = false;
+  for (const Diagnostic& d : sink.diagnostics())
+    if (d.code == Code::kJournalError) diagnosed = true;
+  EXPECT_TRUE(diagnosed);
+}
+
+// ------------------------------------------------------------------ resume
+
+TEST(Resume, InterruptedSweepResumesByteIdentical) {
+  // Run the first half of a grid with a journal (the "crash" happens after),
+  // then resume the full grid against that journal: the combined output must
+  // be byte-identical to one uninterrupted serial run, and the resumed half
+  // must not re-execute.
+  TempFile tmp("test_soak_resume.mlvlj");
+  const std::vector<SweepJob> all = hypercube_grid(3, 5, 2, 3);
+  const std::vector<SweepJob> half(all.begin(),
+                                   all.begin() + std::ptrdiff_t(all.size() / 2));
+  {
+    SweepJournal journal(tmp.path);
+    SweepOptions opt;
+    opt.threads = 1;
+    opt.journal = &journal;
+    ASSERT_TRUE(run_sweep(half, opt).all_ok());
+  }
+  std::optional<SweepResume> resume = SweepJournal::load(tmp.path);
+  ASSERT_TRUE(resume.has_value());
+  ASSERT_EQ(resume->done.size(), half.size());
+
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.resume = &*resume;
+  SweepReport resumed = run_sweep(all, opt);
+  SweepReport uninterrupted = run_sweep(all, {.threads = 1});
+
+  ASSERT_TRUE(resumed.all_ok());
+  EXPECT_EQ(fingerprint(resumed), fingerprint(uninterrupted));
+  EXPECT_EQ(resumed.resumed, half.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(resumed.jobs[i].resumed, i < half.size()) << i;
+    // Resumed results carry the *recorded* attempt count, matching the run
+    // they reproduce — not a fresh execution.
+    EXPECT_EQ(resumed.jobs[i].attempts, uninterrupted.jobs[i].attempts) << i;
+  }
+}
+
+TEST(Resume, PreflightFailuresReFailIdenticallyWithoutJournaling) {
+  // A job rejected before reaching a worker (bad layer count) is not
+  // journaled — re-deriving the validation failure on resume is free — but
+  // a resumed run still reports it byte-identically to the original.
+  TempFile tmp("test_soak_resume_fail.mlvlj");
+  const api::FamilyRegistry& reg = api::FamilyRegistry::instance();
+  std::vector<SweepJob> jobs;
+  jobs.push_back({*reg.parse("hypercube(n=3)"), {.L = 1}});  // invalid L
+  jobs.push_back({*reg.parse("hypercube(n=3)"), {.L = 2}});
+  std::string original_error;
+  {
+    SweepJournal journal(tmp.path);
+    SweepOptions opt;
+    opt.threads = 1;
+    opt.journal = &journal;
+    SweepReport r = run_sweep(jobs, opt);
+    EXPECT_FALSE(r.jobs[0].ok);
+    original_error = r.jobs[0].error;
+    EXPECT_EQ(journal.recorded(), 1u);  // only the worker-finished job
+  }
+  std::optional<SweepResume> resume = SweepJournal::load(tmp.path);
+  ASSERT_TRUE(resume.has_value());
+  ASSERT_EQ(resume->done.size(), 1u);
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.resume = &*resume;
+  SweepReport r = run_sweep(jobs, opt);
+  EXPECT_EQ(r.resumed, 1u);
+  EXPECT_FALSE(r.jobs[0].ok);
+  EXPECT_FALSE(r.jobs[0].resumed);  // re-failed live, not reproduced
+  EXPECT_EQ(r.jobs[0].error, original_error);
+  EXPECT_TRUE(r.jobs[1].ok);
+  EXPECT_TRUE(r.jobs[1].resumed);
+}
+
+// -------------------------------------------------------------- chaos soak
+
+TEST(Soak, GovernanceInvariantsHoldUnderInjectedChaos) {
+  // A long-lived engine with a tight cache and deterministic fault injection:
+  // across several batches every job must resolve to a coherent verdict, ok
+  // results must carry real metrics, and a fresh serial engine must agree.
+  const std::vector<SweepJob> jobs = hypercube_grid(3, 5, 2, 4);
+  auto chaos = [](std::size_t job, std::uint32_t attempt) {
+    // splitmix-style deterministic hash of (job, attempt), ~25% fault rate
+    std::uint64_t x = (job * 1000003u) ^ (attempt * 0x9E3779B97F4A7C15ull);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    return x % 100 < 25;
+  };
+  SweepOptions opt;
+  opt.threads = 4;
+  opt.cache_capacity = 4;
+  opt.max_retries = 3;
+  opt.retry_backoff_ms = 0;
+  opt.inject_fault = chaos;
+  BatchLayoutEngine eng(opt);
+
+  std::string first;
+  for (int iter = 0; iter < 3; ++iter) {
+    SweepReport r = eng.run(jobs);
+    ASSERT_EQ(r.jobs.size(), jobs.size());
+    for (const JobResult& j : r.jobs) {
+      if (j.ok) {
+        EXPECT_TRUE(j.verdict == JobVerdict::kOk ||
+                    j.verdict == JobVerdict::kRetried);
+        EXPECT_GT(j.metrics.area, 0u);
+        EXPECT_GT(j.nodes, 0u);
+      } else {
+        EXPECT_EQ(j.verdict, JobVerdict::kFailed);
+        EXPECT_FALSE(j.error.empty());
+      }
+      if (j.verdict == JobVerdict::kRetried) {
+        EXPECT_GE(j.attempts, 2u);
+      }
+      EXPECT_LE(j.attempts, opt.max_retries + 1);
+    }
+    EXPECT_LE(eng.cache_size(), 4u);
+    // Fault injection is a function of (job, attempt) only, so every
+    // iteration — and any thread count — resolves identically.
+    if (iter == 0)
+      first = fingerprint(r);
+    else
+      EXPECT_EQ(fingerprint(r), first) << "iteration " << iter;
+  }
+
+  SweepOptions serial = opt;
+  serial.threads = 1;
+  serial.cache_capacity = 0;
+  SweepReport replay = run_sweep(jobs, serial);
+  EXPECT_EQ(fingerprint(replay), first);
+}
+
+}  // namespace
+}  // namespace mlvl::engine
