@@ -9,8 +9,9 @@
 // across an -L range and runs every job on the parallel batch engine, with
 // results printed in submission order (so -j 8 output is byte-identical to
 // -j 1); --deadline/--sweep-deadline bound each job / the whole batch with
-// cooperative cancellation, --retries retries transient failures,
-// --cache-capacity hard-bounds the topology cache with LRU eviction, and
+// cooperative cancellation, --retries/--backoff retry transient failures,
+// --cache-capacity/--cache-capacity-bytes hard-bound the topology cache with
+// LRU eviction (--soft-capacity arms the pre-eviction warning tripwire), and
 // --journal/--resume checkpoint finished jobs so a killed sweep restarts
 // where it stopped, byte-identical to an uninterrupted run. And the chaos
 // harness: `soak` drives the persistent engine through repeated sweeps with
@@ -683,6 +684,21 @@ int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
       std::uint32_t cap = 0;
       if (!parse_u32_flag(args[++i], "--cache-capacity", cap)) return usage();
       opt.cache_capacity = cap;
+    } else if (args[i] == "--cache-capacity-bytes" && i + 1 < args.size()) {
+      std::uint32_t cap = 0;
+      if (!parse_u32_flag(args[++i], "--cache-capacity-bytes", cap))
+        return usage();
+      opt.cache_capacity_bytes = cap;
+    } else if (args[i] == "--soft-capacity" && i + 1 < args.size()) {
+      std::uint32_t cap = 0;
+      if (!parse_u32_flag(args[++i], "--soft-capacity", cap)) return usage();
+      opt.cache_soft_capacity = cap;
+    } else if (args[i] == "--backoff" && i + 1 < args.size()) {
+      if (!parse_u32_flag(args[++i], "--backoff", opt.retry_backoff_ms) ||
+          opt.retry_backoff_ms > 60'000) {
+        std::cerr << "layout_tool: --backoff wants 0..60000 ms\n";
+        return usage();
+      }
     } else if (args[i] == "--journal" && i + 1 < args.size()) {
       journal_path = args[++i];
     } else if (args[i] == "--resume" && i + 1 < args.size()) {
@@ -803,7 +819,8 @@ int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
                 << (report.cache_misses == 1 ? "" : "s") << ", "
                 << report.cache_evictions << " eviction(s), "
                 << report.resumed << " resumed, " << report.retry_attempts
-                << " transient failure(s)";
+                << " transient failure(s), " << report.warnings.size()
+                << " capacity warning(s)";
       if (journal) std::cout << ", journal " << journal->recorded()
                              << " record(s)";
       std::cout << "\n";

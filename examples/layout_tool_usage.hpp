@@ -8,7 +8,8 @@ inline constexpr const char kLayoutToolUsage[] =
     R"usage(usage: layout_tool <network> [args...] [options]
        layout_tool sweep <spec-range>... [-L lo[..hi]] [-j N]
                    [-nocheck] [-nocache] [--deadline ms] [--sweep-deadline ms]
-                   [--retries N] [--cache-capacity N]
+                   [--retries N] [--backoff ms] [--cache-capacity N]
+                   [--cache-capacity-bytes N] [--soft-capacity N]
                    [--journal file] [--resume file]
        layout_tool soak [<spec-range>...] [-iters N] [-seed N] [-j N]
                    [-fault-rate pct] [--cache-capacity N] [--deadline ms]
@@ -37,7 +38,10 @@ sweep options:
   --deadline <ms>   per-job budget; over-budget jobs report verdict 'deadline'
   --sweep-deadline <ms>  whole-batch budget; unstarted jobs become 'skipped'
   --retries <N>     retry transient failures up to N times (default 0)
+  --backoff <ms>    base retry backoff, doubled per attempt (default 1)
   --cache-capacity <N>  hard-bound the topology cache; LRU-evict past N entries
+  --cache-capacity-bytes <N>  hard cache bound by approximate resident bytes
+  --soft-capacity <N>  entries past which the sweep warns (default 256; 0 = off)
   --journal <file>  append each finished job to a crash-safe journal
   --resume <file>   skip jobs already completed in <file>, reproducing their
                     recorded results (output byte-identical to an unbroken run)

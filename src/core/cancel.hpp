@@ -22,6 +22,17 @@
 // deadline). Tokens are armed before workers start and never re-armed, so
 // plain atomics suffice.
 //
+// Memory-order contract (audited; see DESIGN.md §7.10): `tripped_` is a
+// release/acquire latch — the writer stores `reason_` relaxed *before* the
+// release store of `tripped_`, and a reader that acquire-loads `tripped_ ==
+// true` is therefore guaranteed to see that reason; no other data is
+// published through the token, so nothing stronger is needed. `reason_`
+// itself only ever holds string literals (static storage), so the pointer
+// is the whole payload. The deadline fields are deliberately *not* atomic:
+// `set_deadline_after_ms` must happen-before the token is shared (the
+// engine arms tokens before spawning or handing work to workers), after
+// which they are read-only.
+//
 // `TransientError` is the retry classification boundary: a failure thrown as
 // TransientError (injected chaos, a future RPC timeout) is safe to retry;
 // every other exception is treated as deterministic and fails the job

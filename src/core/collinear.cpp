@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
+#include "core/thread_annotations.hpp"
 #include "obs/trace.hpp"
 
 namespace mlvl {
@@ -16,9 +16,9 @@ namespace {
 /// Map nodes are stable and values immutable once inserted, so the returned
 /// reference stays valid after the lock is released.
 const std::vector<std::uint32_t>& complete_tracks(std::uint32_t r) {
-  static std::mutex mu;
+  static Mutex mu;
   static std::map<std::uint32_t, std::vector<std::uint32_t>> cache;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   auto it = cache.find(r);
   if (it != cache.end()) return it->second;
   std::vector<Interval> ivs;

@@ -239,35 +239,88 @@ std::string Diagnostic::to_string() const {
 }
 
 bool DiagnosticSink::report(Diagnostic d) {
-  if (d.severity == Severity::kError) {
-    ++total_errors_;
-    obs::counter_add("diag.errors");
-  } else {
-    ++total_warnings_;
-    obs::counter_add("diag.warnings");
-  }
-  if (diags_.size() >= capacity_) {
-    if (d.severity == Severity::kError) {
-      // Evict the newest warning so errors are never crowded out.
-      auto it = std::find_if(
-          diags_.rbegin(), diags_.rend(),
-          [](const Diagnostic& x) { return x.severity == Severity::kWarning; });
-      if (it != diags_.rend()) {
-        *it = std::move(d);
-        ++dropped_;
-        ++evicted_;
-        obs::counter_add("diag.evicted");
-        return true;
+  // The obs counters tick outside the lock: counter_add synchronizes
+  // internally, and keeping it out of the critical section keeps mu_ a leaf
+  // in the lock order (§7.10: no lock is ever held while taking another).
+  obs::counter_add(d.severity == Severity::kError ? "diag.errors"
+                                                  : "diag.warnings");
+  bool evicted = false;
+  bool kept = true;
+  {
+    MutexLock lock(&mu_);
+    if (d.severity == Severity::kError)
+      ++total_errors_;
+    else
+      ++total_warnings_;
+    if (diags_.size() >= capacity_) {
+      if (d.severity == Severity::kError) {
+        // Evict the newest warning so errors are never crowded out.
+        auto it = std::find_if(diags_.rbegin(), diags_.rend(),
+                               [](const Diagnostic& x) {
+                                 return x.severity == Severity::kWarning;
+                               });
+        if (it != diags_.rend()) {
+          *it = std::move(d);
+          ++dropped_;
+          ++evicted_;
+          evicted = true;
+        }
       }
+      if (!evicted) {
+        ++dropped_;
+        kept = false;
+      }
+    } else {
+      diags_.push_back(std::move(d));
+      retained_.store(diags_.size(), std::memory_order_relaxed);
     }
-    ++dropped_;
-    return false;
   }
-  diags_.push_back(std::move(d));
-  return true;
+  if (evicted) obs::counter_add("diag.evicted");
+  return kept;
+}
+
+std::size_t DiagnosticSink::dropped() const {
+  MutexLock lock(&mu_);
+  return dropped_;
+}
+
+const std::vector<Diagnostic>& DiagnosticSink::diagnostics() const {
+  MutexLock lock(&mu_);
+  return diags_;  // see header: only dereference once producers quiesced
+}
+
+const Diagnostic* DiagnosticSink::first() const {
+  MutexLock lock(&mu_);
+  return diags_.empty() ? nullptr : &diags_.front();
+}
+
+std::size_t DiagnosticSink::total_errors() const {
+  MutexLock lock(&mu_);
+  return total_errors_;
+}
+
+std::size_t DiagnosticSink::total_warnings() const {
+  MutexLock lock(&mu_);
+  return total_warnings_;
+}
+
+std::size_t DiagnosticSink::evicted() const {
+  MutexLock lock(&mu_);
+  return evicted_;
+}
+
+void DiagnosticSink::clear() {
+  MutexLock lock(&mu_);
+  diags_.clear();
+  dropped_ = 0;
+  evicted_ = 0;
+  total_errors_ = 0;
+  total_warnings_ = 0;
+  retained_.store(0, std::memory_order_relaxed);
 }
 
 std::size_t DiagnosticSink::errors() const {
+  MutexLock lock(&mu_);
   return static_cast<std::size_t>(
       std::count_if(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
         return d.severity == Severity::kError;
@@ -275,21 +328,29 @@ std::size_t DiagnosticSink::errors() const {
 }
 
 std::size_t DiagnosticSink::warnings() const {
-  return diags_.size() - errors();
+  MutexLock lock(&mu_);
+  std::size_t errs = static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kError;
+      }));
+  return diags_.size() - errs;
 }
 
 bool DiagnosticSink::has(Code c) const {
+  MutexLock lock(&mu_);
   return std::any_of(diags_.begin(), diags_.end(),
                      [c](const Diagnostic& d) { return d.code == c; });
 }
 
 std::size_t DiagnosticSink::count(Code c) const {
+  MutexLock lock(&mu_);
   return static_cast<std::size_t>(
       std::count_if(diags_.begin(), diags_.end(),
                     [c](const Diagnostic& d) { return d.code == c; }));
 }
 
 std::string DiagnosticSink::summary() const {
+  MutexLock lock(&mu_);
   if (diags_.empty()) return "clean";
   // Count per code, preserving first-appearance order.
   std::vector<std::pair<Code, std::size_t>> counts;

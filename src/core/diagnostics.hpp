@@ -7,11 +7,25 @@
 // behaviour, a larger capacity collects every violation in one pass (the
 // `--doctor` mode of the layout tool, the fault-injection detection matrix,
 // and the repair pipeline all rely on the complete list).
+//
+// Threading: `DiagnosticSink` is thread-safe — the batch engine routes cache
+// soft-capacity warnings into a sink from worker threads while the
+// submitting thread owns it (see DESIGN.md §7.10). All mutation and all
+// aggregate queries lock `mu_`; the capacity checks `full()` / `size()` /
+// `empty()` read a relaxed atomic mirror of the retained count instead, so
+// the checker's per-grid-point early-out bound costs one atomic load, not a
+// lock. `diagnostics()` / `first()` return references into the sink;
+// `report` may reallocate the underlying vector, so those references are
+// only safe to use once producers have quiesced (workers joined) — the
+// engine's read-after-join pattern.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace mlvl {
 
@@ -114,7 +128,8 @@ struct Diagnostic {
 
 /// Bounded collector of diagnostics. Producers must stop doing expensive
 /// work once `full()`; a sink of capacity 1 therefore behaves like the
-/// historical first-failure checker.
+/// historical first-failure checker. Thread-safe (see header comment for
+/// the reference-returning accessors' quiesce-before-read contract).
 class DiagnosticSink {
  public:
   explicit DiagnosticSink(std::size_t capacity = 256) : capacity_(capacity) {}
@@ -124,52 +139,57 @@ class DiagnosticSink {
   /// hides an error behind earlier warnings: a capacity-1 sink keeps the
   /// first *error*, reproducing the historical first-failure checker even
   /// when warnings share the sink.
-  bool report(Diagnostic d);
+  bool report(Diagnostic d) MLVL_EXCLUDES(mu_);
 
-  [[nodiscard]] bool full() const { return diags_.size() >= capacity_; }
-  [[nodiscard]] bool empty() const { return diags_.empty(); }
-  [[nodiscard]] std::size_t size() const { return diags_.size(); }
+  /// Hot-path early-out bound: one relaxed atomic load of the retained
+  /// count (checker loops poll this per scan step). Monotone while
+  /// producers run except across `clear()`.
+  [[nodiscard]] bool full() const {
+    return retained_.load(std::memory_order_relaxed) >= capacity_;
+  }
+  [[nodiscard]] bool empty() const {
+    return retained_.load(std::memory_order_relaxed) == 0;
+  }
+  [[nodiscard]] std::size_t size() const {
+    return retained_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t dropped() const { return dropped_; }
-  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
-    return diags_;
-  }
-  [[nodiscard]] const Diagnostic* first() const {
-    return diags_.empty() ? nullptr : &diags_.front();
-  }
-  [[nodiscard]] bool has(Code c) const;
-  [[nodiscard]] std::size_t count(Code c) const;
+  [[nodiscard]] std::size_t dropped() const MLVL_EXCLUDES(mu_);
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const
+      MLVL_EXCLUDES(mu_);
+  [[nodiscard]] const Diagnostic* first() const MLVL_EXCLUDES(mu_);
+  [[nodiscard]] bool has(Code c) const MLVL_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t count(Code c) const MLVL_EXCLUDES(mu_);
   /// Retained diagnostics by severity (dropped/evicted ones not included).
-  [[nodiscard]] std::size_t errors() const;
-  [[nodiscard]] std::size_t warnings() const;
+  [[nodiscard]] std::size_t errors() const MLVL_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t warnings() const MLVL_EXCLUDES(mu_);
 
   /// Totals over everything ever reported, including diagnostics dropped or
   /// evicted at capacity — the numbers doctor/lint runs print so a full sink
   /// never under-reports. Also published to the obs MetricsRegistry (when
   /// one is installed) as diag.errors / diag.warnings / diag.evicted.
-  [[nodiscard]] std::size_t total_errors() const { return total_errors_; }
-  [[nodiscard]] std::size_t total_warnings() const { return total_warnings_; }
+  [[nodiscard]] std::size_t total_errors() const MLVL_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t total_warnings() const MLVL_EXCLUDES(mu_);
   /// Warnings evicted by a later error at capacity (a subset of dropped()).
-  [[nodiscard]] std::size_t evicted() const { return evicted_; }
+  [[nodiscard]] std::size_t evicted() const MLVL_EXCLUDES(mu_);
 
-  void clear() {
-    diags_.clear();
-    dropped_ = 0;
-    evicted_ = 0;
-    total_errors_ = 0;
-    total_warnings_ = 0;
-  }
+  void clear() MLVL_EXCLUDES(mu_);
 
   /// Aggregate one-liner, e.g. "3x point-collision, 1x box-overlap (+12 more)".
-  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string summary() const MLVL_EXCLUDES(mu_);
 
  private:
-  std::vector<Diagnostic> diags_;
-  std::size_t capacity_;
-  std::size_t dropped_ = 0;
-  std::size_t evicted_ = 0;
-  std::size_t total_errors_ = 0;
-  std::size_t total_warnings_ = 0;
+  const std::size_t capacity_;  ///< immutable after construction
+  /// Relaxed mirror of diags_.size(), maintained under mu_, so full()/size()
+  /// never take the lock (snapshot semantic: exact once producers quiesce).
+  std::atomic<std::size_t> retained_{0};
+
+  mutable Mutex mu_;
+  std::vector<Diagnostic> diags_ MLVL_GUARDED_BY(mu_);
+  std::size_t dropped_ MLVL_GUARDED_BY(mu_) = 0;
+  std::size_t evicted_ MLVL_GUARDED_BY(mu_) = 0;
+  std::size_t total_errors_ MLVL_GUARDED_BY(mu_) = 0;
+  std::size_t total_warnings_ MLVL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mlvl

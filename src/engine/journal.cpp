@@ -1,8 +1,8 @@
 #include "engine/journal.hpp"
 
 #include <cerrno>
-#include <cstring>
 #include <fstream>
+#include <system_error>
 #include <string_view>
 #include <vector>
 
@@ -96,7 +96,7 @@ SweepJournal::~SweepJournal() {
 }
 
 std::size_t SweepJournal::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return recorded_;
 }
 
@@ -136,7 +136,7 @@ void SweepJournal::record(const JobResult& r) {
   line += escape_field(r.error);
   line += '\n';
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);  // crash-safety: a record is durable once we return
   ++recorded_;
@@ -146,7 +146,11 @@ std::optional<SweepResume> SweepJournal::load(const std::string& path,
                                               DiagnosticSink* sink) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    journal_error(sink, path + ": " + std::strerror(errno));
+    // std::strerror is not thread-safe (clang-tidy concurrency-mt-unsafe);
+    // std::error_code::message copies into its own buffer.
+    journal_error(sink, path + ": " +
+                            std::error_code(errno, std::generic_category())
+                                .message());
     return std::nullopt;
   }
   std::string line;

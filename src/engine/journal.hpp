@@ -33,11 +33,11 @@
 
 #include <cstddef>
 #include <cstdio>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "core/thread_annotations.hpp"
 #include "engine/sweep.hpp"
 
 namespace mlvl::engine {
@@ -71,11 +71,11 @@ class SweepJournal {
 
   [[nodiscard]] bool valid() const { return file_ != nullptr; }
   [[nodiscard]] const std::string& path() const { return path_; }
-  [[nodiscard]] std::size_t recorded() const;
+  [[nodiscard]] std::size_t recorded() const MLVL_EXCLUDES(mu_);
 
   /// Append one finished job and flush. Thread-safe (workers record from the
   /// pool); verdicts other than ok/retried/failed are ignored by design.
-  void record(const JobResult& r);
+  void record(const JobResult& r) MLVL_EXCLUDES(mu_);
 
   /// Parse a journal written by this class. Returns std::nullopt (with a
   /// kJournalError diagnostic on `sink`, if given) when the file cannot be
@@ -86,9 +86,12 @@ class SweepJournal {
 
  private:
   std::string path_;
+  /// Opened in the constructor, closed in the destructor, never reassigned —
+  /// immutable while shared, so valid() needs no lock. The *stream state*
+  /// behind it is mutated only by record(), under mu_.
   std::FILE* file_ = nullptr;
-  mutable std::mutex mu_;
-  std::size_t recorded_ = 0;
+  mutable Mutex mu_;
+  std::size_t recorded_ MLVL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mlvl::engine

@@ -37,7 +37,7 @@ OrthoCache::Ptr OrthoCache::get_or_build(
   std::promise<Ptr> mine;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(&sh.mu);
     auto it = sh.map.find(key);
     if (it != sh.map.end()) {
       it->second.tick = ++tick_;  // LRU touch
@@ -63,7 +63,7 @@ OrthoCache::Ptr OrthoCache::get_or_build(
     Ptr built = std::make_shared<const Orthogonal2Layer>(build());
     const std::size_t entry_bytes = key.size() + approx_layout_bytes(*built);
     {
-      std::lock_guard<std::mutex> lock(sh.mu);
+      MutexLock lock(&sh.mu);
       auto it = sh.map.find(key);
       if (it != sh.map.end()) {  // absent only if clear() raced the build
         it->second.built = true;
@@ -88,7 +88,7 @@ OrthoCache::Ptr OrthoCache::get_or_build(
     } catch (...) {
     }
     if (keep) {
-      std::lock_guard<std::mutex> lock(sh.mu);
+      MutexLock lock(&sh.mu);
       auto it = sh.map.find(key);
       if (it != sh.map.end()) {
         it->second.built = true;
@@ -111,7 +111,7 @@ void OrthoCache::note_built(const std::string& key, std::size_t /*bytes*/) {
 
 void OrthoCache::erase_entry(const std::string& key) {
   Shard& sh = shard_for(key);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  MutexLock lock(&sh.mu);
   auto it = sh.map.find(key);
   if (it == sh.map.end()) return;
   bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
@@ -122,7 +122,7 @@ void OrthoCache::erase_entry(const std::string& key) {
 void OrthoCache::enforce_capacity(const std::string& protected_key) {
   std::size_t max_entries, max_bytes;
   {
-    std::lock_guard<std::mutex> lock(cfg_mu_);
+    MutexLock lock(&cfg_mu_);
     max_entries = max_entries_;
     max_bytes = max_bytes_;
   }
@@ -142,8 +142,9 @@ void OrthoCache::enforce_capacity(const std::string& protected_key) {
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     std::size_t victim_shard = 0;
     for (std::size_t s = 0; s < kShards; ++s) {
-      std::lock_guard<std::mutex> lock(shards_[s].mu);
-      for (const auto& [k, e] : shards_[s].map) {
+      Shard& sh = shards_[s];
+      MutexLock lock(&sh.mu);
+      for (const auto& [k, e] : sh.map) {
         if (!e.built || k == protected_key) continue;  // never in-flight/self
         if (e.tick < oldest) {
           oldest = e.tick;
@@ -153,18 +154,21 @@ void OrthoCache::enforce_capacity(const std::string& protected_key) {
       }
     }
     if (victim.empty()) return;  // nothing evictable yet
+    bool erased = false;
     {
       Shard& sh = shards_[victim_shard];
-      std::lock_guard<std::mutex> lock(sh.mu);
+      MutexLock lock(&sh.mu);
       auto it = sh.map.find(victim);
       if (it != sh.map.end() && it->second.built) {
         bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
         sh.map.erase(it);
         entries_.fetch_sub(1, std::memory_order_relaxed);
         evictions_.fetch_add(1, std::memory_order_relaxed);
-        obs::counter_add("engine.cache.evicted");
+        erased = true;
       }
     }
+    // Registry tick outside the shard lock: locks stay leaves (§7.10).
+    if (erased) obs::counter_add("engine.cache.evicted");
   }
 }
 
@@ -172,15 +176,19 @@ void OrthoCache::maybe_warn_soft_capacity() {
   DiagnosticSink* warn_sink = nullptr;
   std::size_t soft = 0;
   const std::size_t entries = entries_.load(std::memory_order_relaxed);
+  bool crossed = false;
   {
-    std::lock_guard<std::mutex> lock(cfg_mu_);
+    MutexLock lock(&cfg_mu_);
     if (soft_capacity_ != 0 && entries > soft_capacity_ && !overflowed_) {
       overflowed_ = true;
       warn_sink = sink_;
       soft = soft_capacity_;
-      obs::counter_add("engine.cache.soft_overflow");
+      crossed = true;
     }
   }
+  // Outside the lock: counter_add takes the registry mutex, and cfg_mu_
+  // stays a leaf in the lock order (§7.10).
+  if (crossed) obs::counter_add("engine.cache.soft_overflow");
   if (warn_sink != nullptr) {
     Diagnostic d;
     d.code = Code::kCacheCapacity;
@@ -203,7 +211,7 @@ void OrthoCache::publish_gauges() const {
 
 void OrthoCache::set_capacity(std::size_t max_entries, std::size_t max_bytes) {
   {
-    std::lock_guard<std::mutex> lock(cfg_mu_);
+    MutexLock lock(&cfg_mu_);
     max_entries_ = max_entries;
     max_bytes_ = max_bytes;
   }
@@ -212,12 +220,12 @@ void OrthoCache::set_capacity(std::size_t max_entries, std::size_t max_bytes) {
 }
 
 std::size_t OrthoCache::capacity() const {
-  std::lock_guard<std::mutex> lock(cfg_mu_);
+  MutexLock lock(&cfg_mu_);
   return max_entries_;
 }
 
 std::size_t OrthoCache::capacity_bytes() const {
-  std::lock_guard<std::mutex> lock(cfg_mu_);
+  MutexLock lock(&cfg_mu_);
   return max_bytes_;
 }
 
@@ -241,7 +249,7 @@ CacheStats OrthoCache::stats() const {
 
 void OrthoCache::clear() {
   for (Shard& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(&sh.mu);
     sh.map.clear();
   }
   entries_.store(0, std::memory_order_relaxed);
@@ -250,30 +258,30 @@ void OrthoCache::clear() {
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(cfg_mu_);
+    MutexLock lock(&cfg_mu_);
     overflowed_ = false;
   }
   publish_gauges();
 }
 
 void OrthoCache::set_soft_capacity(std::size_t entries, DiagnosticSink* sink) {
-  std::lock_guard<std::mutex> lock(cfg_mu_);
+  MutexLock lock(&cfg_mu_);
   soft_capacity_ = entries;
   sink_ = sink;
 }
 
 std::size_t OrthoCache::soft_capacity() const {
-  std::lock_guard<std::mutex> lock(cfg_mu_);
+  MutexLock lock(&cfg_mu_);
   return soft_capacity_;
 }
 
 bool OrthoCache::overflowed() const {
-  std::lock_guard<std::mutex> lock(cfg_mu_);
+  MutexLock lock(&cfg_mu_);
   return overflowed_;
 }
 
 void OrthoCache::rearm_soft_warning() {
-  std::lock_guard<std::mutex> lock(cfg_mu_);
+  MutexLock lock(&cfg_mu_);
   overflowed_ = false;
 }
 

@@ -42,12 +42,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "core/diagnostics.hpp"
 #include "core/orthogonal.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace mlvl::engine {
 
@@ -56,6 +56,18 @@ namespace mlvl::engine {
 [[nodiscard]] std::size_t approx_layout_bytes(const Orthogonal2Layer& o);
 
 /// Monotonic cache telemetry (totals since construction or clear()).
+///
+/// Snapshot semantic: every field is maintained as a relaxed atomic and
+/// `OrthoCache::stats()` reads them with one relaxed load each — no lock, no
+/// fence. The contract this buys:
+///  * each counter individually is exact and monotone non-decreasing between
+///    clear() calls (relaxed RMWs never lose increments);
+///  * *cross*-field invariants (hits + misses == lookups, bytes matching
+///    entries) only hold once concurrent callers have quiesced — a snapshot
+///    taken mid-flight may see a lookup whose hit tick has landed while its
+///    entry count has not;
+///  * two snapshots taken from one thread are ordered: no field ever
+///    decreases between them (tested under contention in test_threading).
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -78,9 +90,10 @@ class OrthoCache {
   /// Hard capacity limits; eviction keeps the cache at or under both.
   /// 0 = unbounded (the default). Safe to call between batches; an
   /// over-capacity cache shrinks on the next insert.
-  void set_capacity(std::size_t max_entries, std::size_t max_bytes = 0);
-  [[nodiscard]] std::size_t capacity() const;
-  [[nodiscard]] std::size_t capacity_bytes() const;
+  void set_capacity(std::size_t max_entries, std::size_t max_bytes = 0)
+      MLVL_EXCLUDES(cfg_mu_);
+  [[nodiscard]] std::size_t capacity() const MLVL_EXCLUDES(cfg_mu_);
+  [[nodiscard]] std::size_t capacity_bytes() const MLVL_EXCLUDES(cfg_mu_);
 
   [[nodiscard]] std::size_t size() const;
   /// Approximate bytes held by all successfully built entries.
@@ -91,19 +104,24 @@ class OrthoCache {
   /// Entries past which the cache warns (0 = unbounded, the default).
   /// `sink` (optional, non-owning, must outlive the cache) receives one
   /// kWarning diagnostic per armed period when the capacity is crossed.
-  void set_soft_capacity(std::size_t entries, DiagnosticSink* sink = nullptr);
-  [[nodiscard]] std::size_t soft_capacity() const;
+  void set_soft_capacity(std::size_t entries, DiagnosticSink* sink = nullptr)
+      MLVL_EXCLUDES(cfg_mu_);
+  [[nodiscard]] std::size_t soft_capacity() const MLVL_EXCLUDES(cfg_mu_);
   /// True once the cache has grown past its soft capacity since last re-arm.
-  [[nodiscard]] bool overflowed() const;
+  [[nodiscard]] bool overflowed() const MLVL_EXCLUDES(cfg_mu_);
   /// Re-arm the one-shot soft-capacity warning (e.g. at the start of a new
   /// sweep) so the next crossing warns again.
-  void rearm_soft_warning();
+  void rearm_soft_warning() MLVL_EXCLUDES(cfg_mu_);
   /// Emit the soft-capacity warning now if the cache is over the soft limit
   /// and the latch is armed — catches the all-hits batch where no insert
   /// would otherwise re-check.
-  void poll_soft_capacity();
+  void poll_soft_capacity() MLVL_EXCLUDES(cfg_mu_);
 
  private:
+  // Lock order (see DESIGN.md §7.10): shard mutexes and cfg_mu_ are all
+  // leaves — at most one is ever held at a time. The eviction scan locks
+  // shards one at a time, never two together, so shard locks need no
+  // relative order; cfg_mu_ is read before the scan and released.
   struct Entry {
     std::shared_future<Ptr> fut;
     std::size_t bytes = 0;      ///< key + layout footprint once built
@@ -111,8 +129,8 @@ class OrthoCache {
     std::uint64_t tick = 0;     ///< global recency stamp (larger = newer)
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> map;
+    mutable Mutex mu;
+    std::unordered_map<std::string, Entry> map MLVL_GUARDED_BY(mu);
   };
   static constexpr std::size_t kShards = 8;
 
@@ -122,12 +140,20 @@ class OrthoCache {
   void note_built(const std::string& key, std::size_t entry_bytes);
   /// Drop the entry for a cancelled/transient build.
   void erase_entry(const std::string& key);
-  void enforce_capacity(const std::string& protected_key);
-  void maybe_warn_soft_capacity();
+  void enforce_capacity(const std::string& protected_key)
+      MLVL_EXCLUDES(cfg_mu_);
+  void maybe_warn_soft_capacity() MLVL_EXCLUDES(cfg_mu_);
   void publish_gauges() const;
 
   std::array<Shard, kShards> shards_;
 
+  // Statistics and the LRU clock: relaxed atomics. entries_/bytes_ are
+  // mutated only by a thread that also holds the owning entry's shard lock,
+  // so they track the sharded map exactly once that lock is released; the
+  // relaxed orders are safe because no other data is published through them
+  // (layout results travel through the Entry's shared_future, which carries
+  // its own synchronization). tick_ only needs uniqueness + monotonicity for
+  // LRU ordering, which a relaxed fetch_add provides.
   std::atomic<std::size_t> entries_{0};
   std::atomic<std::size_t> bytes_{0};
   std::atomic<std::uint64_t> hits_{0};
@@ -135,12 +161,14 @@ class OrthoCache {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> tick_{0};
 
-  mutable std::mutex cfg_mu_;      ///< capacity / soft-warning configuration
-  std::size_t max_entries_ = 0;    ///< 0 = unbounded
-  std::size_t max_bytes_ = 0;      ///< 0 = unbounded
-  std::size_t soft_capacity_ = 0;  ///< 0 = unbounded
-  bool overflowed_ = false;
-  DiagnosticSink* sink_ = nullptr;
+  mutable Mutex cfg_mu_;  ///< capacity / soft-warning configuration
+  std::size_t max_entries_ MLVL_GUARDED_BY(cfg_mu_) = 0;    ///< 0 = unbounded
+  std::size_t max_bytes_ MLVL_GUARDED_BY(cfg_mu_) = 0;      ///< 0 = unbounded
+  std::size_t soft_capacity_ MLVL_GUARDED_BY(cfg_mu_) = 0;  ///< 0 = unbounded
+  bool overflowed_ MLVL_GUARDED_BY(cfg_mu_) = false;
+  /// Non-owning warning target; the *pointer* is guarded by cfg_mu_, the
+  /// pointee is internally thread-safe (DiagnosticSink locks its own state).
+  DiagnosticSink* sink_ MLVL_GUARDED_BY(cfg_mu_) = nullptr;
 };
 
 }  // namespace mlvl::engine

@@ -188,6 +188,10 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
   if (opt_.sweep_deadline_ms != 0)
     sweep_token.set_deadline_after_ms(opt_.sweep_deadline_ms);
 
+  // Both relaxed by design: `next` only hands out disjoint indices (the
+  // claimed slot itself is the payload, and each report.jobs[i] has exactly
+  // one writer); `transient_failures` is a pure tally read after join(),
+  // which supplies the final happens-before. Audited in DESIGN.md §7.10.
   std::atomic<std::uint64_t> transient_failures{0};
   std::atomic<std::size_t> next{0};
   auto worker = [&](unsigned wid) {

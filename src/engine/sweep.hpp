@@ -188,8 +188,17 @@ class BatchLayoutEngine {
   void clear_cache() { cache_.clear(); }
 
  private:
-  SweepOptions opt_;
-  OrthoCache cache_;
+  // Concurrency model (details in DESIGN.md §7.10). The engine itself holds
+  // no mutex: run() is single-caller by contract (one batch at a time), and
+  // everything workers share is either immutable once the pool starts
+  // (opt_, the canonicalized keys/runnable/resumed tables), internally
+  // synchronized (cache_, the journal, the obs registry), indexed disjointly
+  // (each worker writes only report.jobs[i] for the i it claimed), or an
+  // atomic (the work-queue cursor). request_cancel() is the one cross-thread
+  // entry point and touches only the CancelToken latch, so it is safe from
+  // any thread, including a signal-adjacent shutdown path.
+  SweepOptions opt_;             ///< immutable after construction
+  OrthoCache cache_;             ///< internally synchronized (sharded locks)
   CancelToken external_cancel_;  ///< request_cancel target; parents each sweep
 };
 

@@ -61,7 +61,7 @@ MetricsRegistry* MetricsRegistry::current() {
 }
 
 void MetricsRegistry::counter_add(std::string_view name, std::uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     counters_.emplace(std::string(name), delta);
@@ -70,7 +70,7 @@ void MetricsRegistry::counter_add(std::string_view name, std::uint64_t delta) {
 }
 
 void MetricsRegistry::gauge_set(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     gauges_.emplace(std::string(name), value);
@@ -79,7 +79,7 @@ void MetricsRegistry::gauge_set(std::string_view name, double value) {
 }
 
 void MetricsRegistry::gauge_max(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     gauges_.emplace(std::string(name), value);
@@ -88,7 +88,7 @@ void MetricsRegistry::gauge_max(std::string_view name, double value) {
 }
 
 void MetricsRegistry::histogram_record(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(std::string(name), HistogramData{}).first;
@@ -105,13 +105,13 @@ void MetricsRegistry::histogram_record(std::string_view name, double value) {
 }
 
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) return std::nullopt;
   return it->second;
@@ -119,14 +119,14 @@ std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
 
 std::optional<HistogramData> MetricsRegistry::histogram(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) return std::nullopt;
   return it->second;
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : counters_) {
@@ -153,7 +153,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   os << "kind,name,field,value\n";
   for (const auto& [name, v] : counters_)
     os << "counter," << name << ",value," << v << "\n";

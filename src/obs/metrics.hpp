@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+
+#include "core/thread_annotations.hpp"
 
 namespace mlvl::obs {
 
@@ -42,6 +43,12 @@ struct HistogramData {
   std::uint64_t buckets[64] = {};
 };
 
+/// Thread-safe: every recording call and every query locks `mu_` (one flat
+/// lock, no lock is held while calling anything that takes another — see
+/// DESIGN.md §7.10). Install/uninstall are *not* synchronized against
+/// concurrent recording beyond the atomic pointer itself: install before
+/// spawning recorders, uninstall after joining them (the sampler and the
+/// engine both follow this).
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -55,29 +62,39 @@ class MetricsRegistry {
   static void uninstall();
   [[nodiscard]] static MetricsRegistry* current();
 
-  void counter_add(std::string_view name, std::uint64_t delta);
-  void gauge_set(std::string_view name, double value);
+  void counter_add(std::string_view name, std::uint64_t delta)
+      MLVL_EXCLUDES(mu_);
+  void gauge_set(std::string_view name, double value) MLVL_EXCLUDES(mu_);
   /// Keep the maximum of every observation (peak-style gauges).
-  void gauge_max(std::string_view name, double value);
-  void histogram_record(std::string_view name, double value);
+  void gauge_max(std::string_view name, double value) MLVL_EXCLUDES(mu_);
+  void histogram_record(std::string_view name, double value)
+      MLVL_EXCLUDES(mu_);
 
   /// Queries (absent metric: counter reads 0, gauge/histogram read nullopt).
-  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
-  [[nodiscard]] std::optional<double> gauge(std::string_view name) const;
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const
+      MLVL_EXCLUDES(mu_);
+  [[nodiscard]] std::optional<double> gauge(std::string_view name) const
+      MLVL_EXCLUDES(mu_);
   [[nodiscard]] std::optional<HistogramData> histogram(
-      std::string_view name) const;
+      std::string_view name) const MLVL_EXCLUDES(mu_);
 
-  void write_json(std::ostream& os) const;
-  void write_csv(std::ostream& os) const;
+  void write_json(std::ostream& os) const MLVL_EXCLUDES(mu_);
+  void write_csv(std::ostream& os) const MLVL_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, HistogramData, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_
+      MLVL_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ MLVL_GUARDED_BY(mu_);
+  std::map<std::string, HistogramData, std::less<>> histograms_
+      MLVL_GUARDED_BY(mu_);
 };
 
 namespace detail {
+/// Process-wide recording target. All accesses are relaxed: the pointer is
+/// the only shared state, the pointee synchronizes internally, and the
+/// install-before-spawn / join-before-uninstall contract (class comment)
+/// supplies the happens-before for the pointee's lifetime.
 extern std::atomic<MetricsRegistry*> g_metrics;
 }  // namespace detail
 

@@ -42,21 +42,29 @@ void MetricsSampler::start(const MetricsRegistry& registry,
   if (thread_.joinable()) return;
   registry_ = &registry;
   interval_ms_ = interval_ms == 0 ? 1 : interval_ms;
-  stop_.store(false, std::memory_order_relaxed);
+  {
+    MutexLock lock(&state_mu_);
+    stop_ = false;
+  }
   t0_ = std::chrono::steady_clock::now();
   take_snapshot();  // t=0 point: the series always starts at the baseline
   thread_ = std::thread([this] {
-    while (!stop_.load(std::memory_order_relaxed)) {
-      // Sleep in small slices so stop() returns promptly even for long
-      // intervals; the snapshot cadence is still interval_ms_.
-      auto remaining = std::chrono::milliseconds(interval_ms_);
-      const auto slice = std::chrono::milliseconds(5);
-      while (remaining.count() > 0 &&
-             !stop_.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(std::min(remaining, slice));
-        remaining -= slice;
+    for (;;) {
+      {
+        // Interval wait doubling as the shutdown handshake: the condvar
+        // wakes promptly when stop() notifies under the lock, and the
+        // deadline loop absorbs spurious wakeups, so the snapshot cadence
+        // stays interval_ms_ without slicing sleeps.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(interval_ms_);
+        MutexLock lock(&state_mu_);
+        while (!stop_) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now >= deadline) break;
+          stop_cv_.wait_for(state_mu_, deadline - now);
+        }
+        if (stop_) return;
       }
-      if (stop_.load(std::memory_order_relaxed)) return;
       take_snapshot();
     }
   });
@@ -64,7 +72,11 @@ void MetricsSampler::start(const MetricsRegistry& registry,
 
 void MetricsSampler::stop() {
   if (!thread_.joinable()) return;
-  stop_.store(true, std::memory_order_relaxed);
+  {
+    MutexLock lock(&state_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
   thread_.join();
   take_snapshot();  // closing data point with the final totals
 }
@@ -83,17 +95,17 @@ void MetricsSampler::take_snapshot() {
   // cleanly inside the series array.
   while (!s.metrics_json.empty() && s.metrics_json.back() == '\n')
     s.metrics_json.pop_back();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   series_.push_back(std::move(s));
 }
 
 std::size_t MetricsSampler::snapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return series_.size();
 }
 
 void MetricsSampler::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   os << "{\n  \"schema\": \"mlvl-metrics-series-v1\",\n  \"interval_ms\": "
      << interval_ms_ << ",\n  \"snapshots\": [";
   bool first = true;

@@ -15,15 +15,14 @@
 // series, not just the final high-water mark.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 
 namespace mlvl::obs {
@@ -48,11 +47,11 @@ class MetricsSampler {
   /// Stop the sampling thread, appending one final snapshot. Idempotent.
   void stop();
 
-  [[nodiscard]] std::size_t snapshots() const;
+  [[nodiscard]] std::size_t snapshots() const MLVL_EXCLUDES(mu_);
   [[nodiscard]] bool running() const { return thread_.joinable(); }
 
   /// Emit the whole series as one JSON document (see header comment).
-  void write_json(std::ostream& os) const;
+  void write_json(std::ostream& os) const MLVL_EXCLUDES(mu_);
 
  private:
   struct Snapshot {
@@ -60,15 +59,25 @@ class MetricsSampler {
     std::string metrics_json; ///< MetricsRegistry::write_json output
   };
 
-  void take_snapshot();
+  void take_snapshot() MLVL_EXCLUDES(mu_, state_mu_);
 
+  // Owner-thread state: written by start()/stop() only, read by the sampler
+  // thread after the start() that spawned it (the std::thread constructor
+  // provides the happens-before) — never mutated while the thread runs.
   const MetricsRegistry* registry_ = nullptr;
   std::uint32_t interval_ms_ = 0;
   std::thread thread_;
-  std::atomic<bool> stop_{false};
   std::chrono::steady_clock::time_point t0_;
-  std::vector<Snapshot> series_;
-  mutable std::mutex mu_;  ///< guards series_ between sampler thread and readers
+
+  // Shutdown handshake: stop() flips stop_ under state_mu_ and notifies;
+  // the sampler thread waits on the condvar with the sampling interval as
+  // timeout, so stop is prompt without slicing sleeps.
+  Mutex state_mu_;
+  CondVar stop_cv_;
+  bool stop_ MLVL_GUARDED_BY(state_mu_) = false;
+
+  mutable Mutex mu_;  ///< leaf lock: series_ only, never held over registry IO
+  std::vector<Snapshot> series_ MLVL_GUARDED_BY(mu_);
 };
 
 }  // namespace mlvl::obs

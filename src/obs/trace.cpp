@@ -73,22 +73,22 @@ std::uint64_t TraceSession::now_us() const {
 }
 
 void TraceSession::record(const TraceEvent& ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(ev);
 }
 
 std::vector<TraceEvent> TraceSession::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_;
 }
 
 std::size_t TraceSession::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size();
 }
 
 bool TraceSession::has_span(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::any_of(events_.begin(), events_.end(),
                      [&](const TraceEvent& ev) { return name == ev.name; });
 }

@@ -22,9 +22,10 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string_view>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace mlvl::obs {
 
@@ -53,23 +54,27 @@ class TraceSession {
 
   /// Microseconds since the session epoch (monotonic clock).
   [[nodiscard]] std::uint64_t now_us() const;
-  void record(const TraceEvent& ev);
+  void record(const TraceEvent& ev) MLVL_EXCLUDES(mu_);
 
   /// Snapshot of every completed span, in completion order.
-  [[nodiscard]] std::vector<TraceEvent> events() const;
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] bool has_span(std::string_view name) const;
+  [[nodiscard]] std::vector<TraceEvent> events() const MLVL_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t size() const MLVL_EXCLUDES(mu_);
+  [[nodiscard]] bool has_span(std::string_view name) const MLVL_EXCLUDES(mu_);
 
   /// Chrome trace-event JSON: {"traceEvents":[...], "displayTimeUnit":"ms"}.
-  void write_chrome_trace(std::ostream& os) const;
+  void write_chrome_trace(std::ostream& os) const MLVL_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::chrono::steady_clock::time_point epoch_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ MLVL_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point epoch_;  ///< immutable after ctor
 };
 
 namespace detail {
+/// Process-wide recording target; same relaxed-order contract as
+/// obs::detail::g_metrics — install before spawning recording threads, join
+/// them before the session dies (a Span caches this pointer for its whole
+/// lifetime, so the session must outlive every open span).
 extern std::atomic<TraceSession*> g_trace;
 }  // namespace detail
 

@@ -385,7 +385,8 @@ TEST(UsageText, NamesTheInstalledBinaryAndEveryFlagFamily) {
         "-baseline", "-save-baseline", "-disable", "-transparent",
         "sweep <spec-range>", "-j <N>", "-nocache", "hypercube(n=4..8)",
         "--deadline <ms>", "--sweep-deadline <ms>", "--retries <N>",
-        "--cache-capacity <N>", "--journal <file>", "--resume <file>",
+        "--backoff <ms>", "--cache-capacity <N>", "--cache-capacity-bytes <N>",
+        "--soft-capacity <N>", "--journal <file>", "--resume <file>",
         "layout_tool soak", "-iters <N>", "-seed <N>", "-fault-rate <pct>",
         "bench-diff <baseline.json> <current.json>", "--max-regress",
         "--noise-floor", "--json", "--save-baseline", "--metrics-interval",
