@@ -38,6 +38,7 @@
 #include "core/metrics.hpp"
 #include "core/multilayer.hpp"
 #include "core/orthogonal.hpp"
+#include "obs/run_context.hpp"
 #include "obs/stats.hpp"
 
 namespace mlvl::bench {
@@ -167,6 +168,7 @@ class BenchRecorder {
     if (!os) return false;
     const obs::BuildEnv env = obs::capture_build_env();
     os << "{\n  \"schema\": \"mlvl-bench-v2\",\n";
+    os << "  \"run_id\": \"" << obs::run_id() << "\",\n";
     os << "  \"env\": {\"compiler\": \"" << env.compiler
        << "\", \"build_type\": \"" << env.build_type << "\", \"flags\": \""
        << env.flags << "\", \"cores\": " << env.cores << "},\n";

@@ -37,6 +37,7 @@
 #include <map>
 #include <new>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -55,6 +56,9 @@
 #include "layout_tool_usage.hpp"
 #include "obs/bench_compare.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/run_context.hpp"
+#include "obs/run_report.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "robustness/repair.hpp"
@@ -74,12 +78,13 @@ constexpr int kExitUsage = 3;
 struct CommonOptions {
   std::string trace_path;
   std::string metrics_path;
+  std::string report_path;  ///< --report: unified mlvl-run-report-v1 JSON
   std::uint32_t metrics_interval_ms = 0;  ///< 0 = no periodic sampling
   int verbosity = 1;
 
   [[nodiscard]] bool obs_enabled() const {
     return !trace_path.empty() || !metrics_path.empty() ||
-           metrics_interval_ms != 0;
+           !report_path.empty() || metrics_interval_ms != 0;
   }
   /// Where the --metrics-interval time series lands: next to the --metrics
   /// file when one was named, else ./metrics_series.json.
@@ -112,6 +117,9 @@ bool extract_common(std::vector<std::string>& args, CommonOptions& opt) {
       std::optional<std::uint64_t> ms = api::parse_uint(args[++i]);
       if (!ms || *ms == 0 || *ms > 3600000) return false;
       opt.metrics_interval_ms = static_cast<std::uint32_t>(*ms);
+    } else if (args[i] == "--report") {
+      if (i + 1 >= args.size()) return false;
+      opt.report_path = args[++i];
     } else if (args[i] == "--quiet" || args[i] == "-q") {
       opt.verbosity = 0;
     } else if (args[i] == "-v") {
@@ -640,7 +648,8 @@ int run_bench_diff(const std::vector<std::string>& args,
 /// the parallel engine, print per-job metrics in submission order. Stdout is
 /// deterministic for a given job list — timings only appear at -v — so
 /// `-j 8` output is byte-identical to `-j 1`.
-int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
+int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt,
+              obs::RunReport::SweepSummary* sweep_out) {
   std::uint32_t l_lo = 4, l_hi = 4;
   std::uint32_t jobs_flag = 0;
   std::string journal_path, resume_path;
@@ -767,6 +776,34 @@ int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt) {
   }
 
   engine::SweepReport report = engine::run_sweep(jobs, opt);
+
+  // Copy the flight-recorder sweep summary out for --report: verdict
+  // tallies, cache stats, and the governance settings this run ran under.
+  if (sweep_out != nullptr) {
+    obs::RunReport::SweepSummary& s = *sweep_out;
+    s.present = true;
+    s.jobs = report.jobs.size();
+    s.resumed = report.resumed;
+    s.threads = report.threads;
+    s.wall_ms = report.wall_ms;
+    s.busy_ms = report.busy_ms;
+    s.utilization = report.utilization();
+    for (const engine::JobResult& j : report.jobs)
+      ++s.verdicts[engine::verdict_name(j.verdict)];
+    s.cache_hits = report.cache_hits;
+    s.cache_misses = report.cache_misses;
+    s.cache_evictions = report.cache_evictions;
+    s.cache_entries = report.cache_entries;
+    s.cache_bytes = report.cache_bytes;
+    s.warnings = report.warnings.size();
+    s.job_deadline_ms = opt.job_deadline_ms;
+    s.sweep_deadline_ms = opt.sweep_deadline_ms;
+    s.max_retries = opt.max_retries;
+    s.retry_backoff_ms = opt.retry_backoff_ms;
+    s.cache_capacity = opt.cache_capacity;
+    s.cache_capacity_bytes = opt.cache_capacity_bytes;
+    s.cache_soft_capacity = opt.cache_soft_capacity;
+  }
 
   if (copt.loud()) {
     analysis::Table t({"spec", "L", "nodes", "edges", "area", "track_area",
@@ -1011,6 +1048,52 @@ int run_soak(const std::vector<std::string>& args, const CommonOptions& copt) {
   return violations == 0 ? kExitValid : kExitInvalid;
 }
 
+/// `profile` mode: re-parse a Chrome trace written by --trace and print the
+/// attribution tables (per-phase inclusive/exclusive time, per-thread
+/// utilization, critical path, slowest jobs). Exit contract: 0 profiled,
+/// 2 unreadable or not a Chrome trace, 3 usage.
+int run_profile(const std::vector<std::string>& args,
+                const CommonOptions& copt) {
+  std::string file, json_path;
+  obs::ProfileOptions popt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else if (args[i] == "--top" && i + 1 < args.size()) {
+      std::uint32_t k = 0;
+      if (!parse_u32_flag(args[++i], "--top", k) || k == 0 || k > 10000) {
+        std::cerr << "layout_tool: --top wants 1..10000 rows\n";
+        return usage();
+      }
+      popt.top_k = k;
+    } else if (file.empty() && !args[i].empty() && args[i][0] != '-') {
+      file = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) return usage();
+
+  std::string err;
+  std::optional<obs::ProfileReport> rep =
+      obs::load_profile_chrome_trace(file, &err, popt);
+  if (!rep) {
+    std::cerr << "profile: " << err << "\n";
+    return kExitParseError;
+  }
+  if (copt.loud()) rep->write_text(std::cout);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (os) rep->write_json(os);
+    if (!os) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return kExitInvalid;
+    }
+    if (copt.loud()) std::cout << "wrote profile " << json_path << "\n";
+  }
+  return kExitValid;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -1028,17 +1111,20 @@ int run(int argc, char** argv) {
       sampler.start(registry, copt.metrics_interval_ms);
   }
 
+  obs::RunReport::SweepSummary sweep_summary;
   int rc;
   if (args[0] == "--doctor")
     rc = run_doctor({args.begin() + 1, args.end()}, copt);
   else if (args[0] == "--lint")
     rc = run_lint({args.begin() + 1, args.end()}, copt);
   else if (args[0] == "sweep")
-    rc = run_sweep({args.begin() + 1, args.end()}, copt);
+    rc = run_sweep({args.begin() + 1, args.end()}, copt, &sweep_summary);
   else if (args[0] == "soak")
     rc = run_soak({args.begin() + 1, args.end()}, copt);
   else if (args[0] == "bench-diff")
     rc = run_bench_diff({args.begin() + 1, args.end()}, copt);
+  else if (args[0] == "profile")
+    rc = run_profile({args.begin() + 1, args.end()}, copt);
   else
     rc = run_layout(args, copt);
 
@@ -1059,6 +1145,34 @@ int run(int argc, char** argv) {
       } else if (copt.loud()) {
         std::cout << "wrote metrics series " << copt.series_path() << " ("
                   << sampler.snapshots() << " snapshot(s))\n";
+      }
+    }
+    if (!copt.report_path.empty()) {
+      // Unified run report: the profile of this run's own trace, the final
+      // metrics snapshot, and (for sweep) the verdict/cache/governance
+      // summary, all under the one run id the other artifacts carry.
+      obs::RunReport rep;
+      rep.run_id = obs::run_id();
+      rep.env = obs::capture_build_env();
+      if (trace.size() != 0) {
+        rep.has_profile = true;
+        rep.profile = obs::profile_session(trace);
+      }
+      std::ostringstream mos;
+      registry.write_json(mos);
+      rep.metrics_json = mos.str();
+      rep.sweep = sweep_summary;
+      std::ofstream os(copt.report_path);
+      if (os) rep.write_json(os);
+      if (!os) {
+        std::cerr << "failed to write " << copt.report_path << "\n";
+        if (rc == kExitValid) rc = kExitInvalid;
+      } else if (copt.loud()) {
+        std::cout << "wrote run report " << copt.report_path << "\n";
+        if (copt.loud(2)) {
+          rep.write_summary(std::cout);
+          std::cout << "\n";
+        }
       }
     }
   }

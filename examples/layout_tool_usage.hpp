@@ -17,6 +17,7 @@ inline constexpr const char kLayoutToolUsage[] =
        layout_tool bench-diff <baseline.json> <current.json>
                    [--max-regress pct] [--noise-floor ms] [--json file]
                    [--save-baseline]
+       layout_tool profile <trace.json> [--json file] [--top N]
        layout_tool --doctor <file> [-repair] [-save file] [-transparent]
        layout_tool --lint <file> [-strict] [-baseline file]
                    [-save-baseline file] [-disable rule] [-transparent]
@@ -56,12 +57,21 @@ bench-diff options:
   --noise-floor <ms>   absolute wall-time slack per record (default 2.0)
   --json <file>        also write the machine-readable diff report
   --save-baseline      refresh <baseline.json> from <current.json> and exit 0
+profile options:
+  re-parse a --trace file and print where the time went: per-phase
+  inclusive vs exclusive (self) time, per-thread utilization, the
+  critical path, and the slowest engine.job spans with their tags
+  --json <file>     also write the machine-readable mlvl-profile-v1 report
+  --top <N>         slowest-job rows to keep (default 10)
 
 observability (all modes):
   --trace <file>    write a Chrome trace-event JSON of every pipeline phase
   --metrics <file>  write the metrics registry (.csv extension -> CSV, else JSON)
   --metrics-interval <ms>  sample the registry every <ms> into a time-series
                     JSON (<metrics file>.series.json, or metrics_series.json)
+  --report <file>   write a unified mlvl-run-report-v1 JSON: run id, env,
+                    profile summary, metrics snapshot, and (for sweep) the
+                    verdict / cache / governance summary
   --quiet | -q      errors only (exit code still reports validity)
   -v                more detail (repeatable: -v phase summary, -v -v debug)
 doctor options:

@@ -31,9 +31,12 @@ std::uint32_t u32(const FamilySpec& s, std::string_view name) {
 }  // namespace
 
 void register_builtin_families(FamilyRegistry& reg) {
+  // `n` defaults so a bare "hypercube" spec (CLI shorthand, sweep ranges
+  // like `sweep hypercube -L 2..6`) canonicalizes to hypercube(n=4).
   reg.add({.name = "hypercube",
            .summary = "binary hypercube, Sec. 5.1 collinear factors",
-           .params = {{.name = "n", .min = 2, .max = 16}},
+           .params = {{.name = "n", .min = 2, .max = 16, .required = false,
+                       .def = 4}},
            .sample = "hypercube(n=4)",
            .build = [](const FamilySpec& s) {
              return layout::layout_hypercube(u32(s, "n"));

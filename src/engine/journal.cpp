@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/run_context.hpp"
+
 namespace mlvl::engine {
 namespace {
 
@@ -83,9 +85,15 @@ SweepJournal::SweepJournal(const std::string& path) : path_(path) {
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) return;
   // Header only for a fresh (or truncated-empty) journal; appending to an
-  // existing one must not interleave a second header between records.
+  // existing one must not interleave a second header between records. A
+  // fresh header carries the run id that started the file — resumed runs
+  // append under the original id, which is exactly the correlation a
+  // post-mortem wants.
   if (std::ftell(file_) == 0) {
     std::fputs(kHeader, file_);
+    std::fputc('\t', file_);
+    std::fputs("run_id=", file_);
+    std::fputs(obs::run_id().c_str(), file_);
     std::fputc('\n', file_);
     std::fflush(file_);
   }
@@ -153,8 +161,15 @@ std::optional<SweepResume> SweepJournal::load(const std::string& path,
                                 .message());
     return std::nullopt;
   }
+  // Accept the bare schema tag (pre-flight-recorder journals) or the tag
+  // followed by tab-separated annotations such as run_id=.
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  const std::string_view header = kHeader;
+  const bool header_ok =
+      std::getline(in, line) &&
+      std::string_view(line).substr(0, header.size()) == header &&
+      (line.size() == header.size() || line[header.size()] == '\t');
+  if (!header_ok) {
     journal_error(sink, path + ": missing '" + std::string(kHeader) +
                             "' header");
     return std::nullopt;

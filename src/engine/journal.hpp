@@ -10,7 +10,10 @@
 // worker, and a resumed run re-derives the identical failure for free.
 //
 // Format (`mlvl-sweep-journal-v1`): a header line, then one record per line,
-// tab-separated:
+// tab-separated. A fresh journal's header is annotated with the run id of
+// the process that created it (`mlvl-sweep-journal-v1 \t run_id=<id>`);
+// the loader accepts the bare tag too, so pre-annotation journals resume
+// unchanged. Records:
 //
 //   <spec>|L=<L> \t verdict=<name> \t attempts=<n> \t cache_hit=<0|1>
 //     \t nodes=.. \t edges=.. \t w=.. \t h=.. \t layers=.. \t area=..

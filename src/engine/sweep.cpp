@@ -113,6 +113,7 @@ BatchLayoutEngine::BatchLayoutEngine(SweepOptions opt) : opt_(std::move(opt)) {}
 
 SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
   obs::Span sweep_span("engine.sweep");
+  sweep_span.arg("jobs", std::uint64_t{jobs.size()});
   obs::counter_add("engine.jobs.submitted", jobs.size());
   const Clock::time_point t0 = Clock::now();
 
@@ -233,7 +234,14 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
         if (opt_.job_deadline_ms != 0)
           job_token.set_deadline_after_ms(opt_.job_deadline_ms);
         CancelScope scope(&job_token);
+        // Correlation tags: every phase span recorded inside this attempt
+        // nests under an engine.job identified by what it was building.
+        // The verdict arg is attached where each attempt concludes.
         obs::Span job_span("engine.job");
+        job_span.arg("spec", keys[i])
+            .arg("L", std::uint64_t{jobs[i].options.L})
+            .arg("worker", std::uint64_t{wid})
+            .arg("attempt", std::uint64_t{attempt});
         bool transient = false;
         try {
           if (opt_.inject_fault && opt_.inject_fault(i, attempt))
@@ -264,6 +272,7 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
           r.verdict = r.ok
                           ? (attempt > 1 ? JobVerdict::kRetried : JobVerdict::kOk)
                           : JobVerdict::kFailed;
+          job_span.arg("verdict", verdict_name(r.verdict));
           break;
         } catch (const CancelledError& ex) {
           if (job_token.tripped()) {
@@ -272,6 +281,7 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
             r.ok = false;
             r.verdict = JobVerdict::kDeadline;
             r.error = ex.what();
+            job_span.arg("verdict", verdict_name(r.verdict));
             obs::counter_add(sweep_token.tripped_flag_only()
                                  ? "engine.deadline.sweep"
                                  : "engine.deadline.job");
@@ -289,6 +299,7 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
           r.ok = false;
           r.verdict = JobVerdict::kFailed;
           r.error = ex.what();
+          job_span.arg("verdict", verdict_name(r.verdict));
           break;
         }
         if (transient) {
@@ -299,9 +310,11 @@ SweepReport BatchLayoutEngine::run(const std::vector<SweepJob>& jobs) {
             r.verdict = JobVerdict::kFailed;
             r.error = "transient failure persisted past retry budget: " +
                       r.error;
+            job_span.arg("verdict", verdict_name(r.verdict));
             obs::counter_add("engine.retry.exhausted");
             break;
           }
+          job_span.arg("verdict", "transient");
           const std::uint64_t delay =
               backoff_ms(opt_.retry_backoff_ms, i, attempt);
           if (delay != 0)

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/run_context.hpp"
+
 namespace mlvl::obs {
 namespace detail {
 
@@ -127,7 +129,9 @@ std::optional<HistogramData> MetricsRegistry::histogram(
 
 void MetricsRegistry::write_json(std::ostream& os) const {
   MutexLock lock(&mu_);
-  os << "{\n  \"counters\": {";
+  os << "{\n  \"run_id\": \"";
+  write_json_escaped(os, run_id());
+  os << "\",\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : counters_) {
     os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
@@ -155,6 +159,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 void MetricsRegistry::write_csv(std::ostream& os) const {
   MutexLock lock(&mu_);
   os << "kind,name,field,value\n";
+  os << "meta,run_id,value," << run_id() << "\n";
   for (const auto& [name, v] : counters_)
     os << "counter," << name << ",value," << v << "\n";
   for (const auto& [name, v] : gauges_)

@@ -1,0 +1,71 @@
+#include "obs/run_context.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace mlvl::obs {
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit finalizer — good enough for an id
+/// that only needs to be unique across concurrent runs, not unguessable.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string generate_run_id() {
+  if (const char* env = std::getenv("MLVL_RUN_ID");
+      env != nullptr && env[0] != '\0') {
+    return std::string(env);
+  }
+  const auto wall = static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  const auto mono = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  // A stack address adds per-process entropy (ASLR) so two processes
+  // started in the same clock tick still diverge.
+  const auto self = reinterpret_cast<std::uintptr_t>(&generate_run_id);
+  const std::uint64_t id = mix64(wall ^ mix64(mono) ^ std::uint64_t{self});
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "run-%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
+}  // namespace
+
+RunContext& run_context() {
+  static RunContext ctx{generate_run_id()};
+  return ctx;
+}
+
+const std::string& run_id() { return run_context().run_id; }
+
+void set_run_id(std::string_view id) {
+  run_context().run_id.assign(id.begin(), id.end());
+}
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        else
+          os << c;
+    }
+  }
+}
+
+}  // namespace mlvl::obs

@@ -5,6 +5,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/run_context.hpp"
+#include "obs/stats.hpp"
+
 #if defined(__linux__)
 #include <sys/resource.h>
 #endif
@@ -106,8 +109,11 @@ std::size_t MetricsSampler::snapshots() const {
 
 void MetricsSampler::write_json(std::ostream& os) const {
   MutexLock lock(&mu_);
-  os << "{\n  \"schema\": \"mlvl-metrics-series-v1\",\n  \"interval_ms\": "
-     << interval_ms_ << ",\n  \"snapshots\": [";
+  os << "{\n  \"schema\": \"mlvl-metrics-series-v1\",\n  \"run_id\": \"";
+  write_json_escaped(os, run_id());
+  os << "\",\n  \"env\": ";
+  write_build_env_json(os, capture_build_env());
+  os << ",\n  \"interval_ms\": " << interval_ms_ << ",\n  \"snapshots\": [";
   bool first = true;
   for (const Snapshot& s : series_) {
     os << (first ? "\n" : ",\n");

@@ -1,8 +1,13 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
 #include <ostream>
 #include <string_view>
+
+#include "obs/run_context.hpp"
 
 namespace mlvl::obs {
 namespace detail {
@@ -23,24 +28,15 @@ std::uint32_t this_thread_index() {
 /// Per-thread span nesting depth (spans strictly nest within one thread).
 thread_local std::uint32_t t_depth = 0;
 
-/// JSON string escaping for span names (names are literals, but a custom
-/// instrumentation site may pass anything printable).
-void write_escaped(std::ostream& os, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      case '\r': os << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20)
-          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
-             << "0123456789abcdef"[c & 0xf];
-        else
-          os << c;
-    }
-  }
+/// One "M" metadata record: {"name":"thread_name","ph":"M",...,
+/// "args":{"name":"worker-3"}} — what Perfetto reads to label tracks.
+void write_metadata_event(std::ostream& os, const char* what,
+                          std::uint32_t tid, std::string_view label) {
+  os << "\n{\"name\":\"" << what
+     << "\",\"cat\":\"__metadata\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+     << ",\"ts\":0,\"args\":{\"name\":\"";
+  write_json_escaped(os, label);
+  os << "\"}}";
 }
 
 }  // namespace
@@ -95,16 +91,45 @@ bool TraceSession::has_span(std::string_view name) const {
 
 void TraceSession::write_chrome_trace(std::ostream& os) const {
   const std::vector<TraceEvent> evs = events();
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
+  os << "{\"displayTimeUnit\":\"ms\",\"runId\":\"";
+  write_json_escaped(os, run_id());
+  os << "\",\"traceEvents\":[";
+
+  // Metadata first: name the process, then every thread that recorded a
+  // span. The lowest tid in the trace is the installing/main thread; the
+  // rest are labelled by their dense index so Perfetto tracks read
+  // "worker-3" instead of a bare number.
+  write_metadata_event(os, "process_name", 0, "mlvl");
+  std::map<std::uint32_t, bool> tids;  // ordered so output is deterministic
+  for (const TraceEvent& ev : evs) tids.emplace(ev.tid, false);
+  bool main_named = false;
+  for (const auto& [tid, unused] : tids) {
+    (void)unused;
+    char label[24];
+    if (!main_named) {
+      std::snprintf(label, sizeof label, "main");
+      main_named = true;
+    } else {
+      std::snprintf(label, sizeof label, "worker-%u", tid);
+    }
+    os << ",";
+    write_metadata_event(os, "thread_name", tid, label);
+  }
+
   for (const TraceEvent& ev : evs) {
-    if (!first) os << ",";
-    first = false;
-    os << "\n{\"name\":\"";
-    write_escaped(os, ev.name);
+    os << ",\n{\"name\":\"";
+    write_json_escaped(os, ev.name);
     os << "\",\"cat\":\"mlvl\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
        << ",\"ts\":" << ev.ts_us << ",\"dur\":" << ev.dur_us
-       << ",\"args\":{\"depth\":" << ev.depth << "}}";
+       << ",\"args\":{\"depth\":" << ev.depth;
+    for (std::uint32_t i = 0; i < ev.arg_count && i < kMaxSpanArgs; ++i) {
+      os << ",\"";
+      write_json_escaped(os, ev.args[i].key);
+      os << "\":\"";
+      write_json_escaped(os, ev.args[i].value);
+      os << "\"";
+    }
+    os << "}}";
   }
   os << "\n]}\n";
 }
@@ -112,14 +137,45 @@ void TraceSession::write_chrome_trace(std::ostream& os) const {
 void Span::begin(const char* name) {
   name_ = name;
   depth_ = t_depth++;
+  // Claim the thread index now, not at end(): begin order matches thread
+  // start order, so the installing thread's first (outermost) span gets
+  // the lowest tid even though it ends last — "main" labels the right
+  // track. end() runs on the same thread and reads the same index.
+  (void)this_thread_index();
   begin_us_ = session_->now_us();
 }
 
 void Span::end() {
   const std::uint64_t end_us = session_->now_us();
   --t_depth;
-  session_->record(TraceEvent{name_, begin_us_, end_us - begin_us_,
-                              this_thread_index(), depth_});
+  TraceEvent ev{};
+  ev.name = name_;
+  ev.ts_us = begin_us_;
+  ev.dur_us = end_us - begin_us_;
+  ev.tid = this_thread_index();
+  ev.depth = depth_;
+  ev.arg_count = nargs_;
+  for (std::uint32_t i = 0; i < nargs_; ++i) ev.args[i] = args_[i];
+  session_->record(ev);
+}
+
+Span& Span::arg(const char* key, std::string_view value) {
+  if (session_ == nullptr || nargs_ >= kMaxSpanArgs) return *this;
+  TraceArg& slot = args_[nargs_++];
+  slot.key = key;
+  const std::size_t n = std::min(value.size(), sizeof slot.value - 1);
+  if (n != 0) std::memcpy(slot.value, value.data(), n);
+  // Zero the tail so whole-slot copies into the TraceEvent never read
+  // indeterminate bytes.
+  std::memset(slot.value + n, 0, sizeof slot.value - n);
+  return *this;
+}
+
+Span& Span::arg(const char* key, std::uint64_t value) {
+  char buf[21];
+  const int len = std::snprintf(buf, sizeof buf, "%llu",
+                                static_cast<unsigned long long>(value));
+  return arg(key, std::string_view(buf, len > 0 ? std::size_t(len) : 0u));
 }
 
 }  // namespace mlvl::obs

@@ -29,6 +29,24 @@
 
 namespace mlvl::obs {
 
+/// Bounds of the per-span arg payload: at most `kMaxSpanArgs` key/value
+/// slots per span, values truncated to `kSpanArgValueCap - 1` bytes. The
+/// slots are fixed-size so attaching args never allocates and the null-sink
+/// fast path stays one relaxed load + branch (unused slots are left
+/// untouched; only `arg_count` slots are ever read).
+inline constexpr std::uint32_t kMaxSpanArgs = 6;
+inline constexpr std::size_t kSpanArgValueCap = 48;
+
+/// One key/value arg slot. `key` must point at a string literal; the value
+/// is copied (and NUL-terminated) into the inline buffer. Intentionally no
+/// default member initializers: a Span embeds an array of these and must
+/// not pay for zeroing them when tracing is disabled. `Span::arg` fully
+/// initializes every slot it hands out.
+struct TraceArg {
+  const char* key;
+  char value[kSpanArgValueCap];
+};
+
 /// One completed span. `name` must point at a string literal (instrumentation
 /// sites pass phase names; nothing is copied on the hot path).
 struct TraceEvent {
@@ -37,6 +55,8 @@ struct TraceEvent {
   std::uint64_t dur_us = 0;  ///< end - begin
   std::uint32_t tid = 0;     ///< small per-session thread index
   std::uint32_t depth = 0;   ///< span nesting depth at begin (0 = top level)
+  std::uint32_t arg_count = 0;       ///< populated entries of `args`
+  TraceArg args[kMaxSpanArgs] = {};  ///< first `arg_count` slots are valid
 };
 
 class TraceSession {
@@ -61,7 +81,10 @@ class TraceSession {
   [[nodiscard]] std::size_t size() const MLVL_EXCLUDES(mu_);
   [[nodiscard]] bool has_span(std::string_view name) const MLVL_EXCLUDES(mu_);
 
-  /// Chrome trace-event JSON: {"traceEvents":[...], "displayTimeUnit":"ms"}.
+  /// Chrome trace-event JSON: {"displayTimeUnit":"ms","runId":"...",
+  /// "traceEvents":[...]} — "M" metadata events naming the process and each
+  /// thread (main / worker-N) first, then one "ph":"X" complete event per
+  /// span with its args. The run id comes from obs::run_id().
   void write_chrome_trace(std::ostream& os) const MLVL_EXCLUDES(mu_);
 
  private:
@@ -84,6 +107,12 @@ extern std::atomic<TraceSession*> g_trace;
 }
 
 /// RAII scoped span. Nestable; balanced on every control path.
+///
+/// `arg` attaches a bounded key/value payload recorded with the completed
+/// event (kMaxSpanArgs slots; longer values are truncated to fit
+/// kSpanArgValueCap). Keys must be string literals; duplicate keys are the
+/// caller's bug (the emitter writes slots verbatim). With no session
+/// installed, arg() is a single branch — the null-sink contract holds.
 class Span {
  public:
   explicit Span(const char* name)
@@ -98,6 +127,9 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  Span& arg(const char* key, std::string_view value);
+  Span& arg(const char* key, std::uint64_t value);
+
  private:
   void begin(const char* name);
   void end();
@@ -106,6 +138,8 @@ class Span {
   const char* name_ = "";
   std::uint64_t begin_us_ = 0;
   std::uint32_t depth_ = 0;
+  std::uint32_t nargs_ = 0;
+  TraceArg args_[kMaxSpanArgs];  ///< first nargs_ slots valid; rest untouched
 };
 
 }  // namespace mlvl::obs

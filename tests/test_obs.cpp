@@ -20,6 +20,7 @@
 #include "layout/hypercube_layout.hpp"
 #include "layout_tool_usage.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_context.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -111,6 +112,7 @@ TEST(Trace, ThreadsGetDistinctIds) {
 }
 
 TEST(Trace, ChromeTraceIsWellFormedJson) {
+  obs::set_run_id("trace-test-run");
   obs::TraceSession session;
   session.install();
   {
@@ -128,23 +130,79 @@ TEST(Trace, ChromeTraceIsWellFormedJson) {
   const io::JsonValue* unit = root->find("displayTimeUnit");
   ASSERT_NE(unit, nullptr);
   EXPECT_EQ(unit->str, "ms");
+  const io::JsonValue* rid = root->find("runId");
+  ASSERT_NE(rid, nullptr);
+  EXPECT_EQ(rid->str, "trace-test-run");
 
   const io::JsonValue* events = root->find("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_EQ(events->kind, io::JsonValue::Kind::kArray);
-  ASSERT_EQ(events->items.size(), 2u);
+  std::vector<const io::JsonValue*> spans;
+  std::vector<const io::JsonValue*> meta;
   for (const io::JsonValue& ev : events->items) {
     ASSERT_EQ(ev.kind, io::JsonValue::Kind::kObject);
-    EXPECT_EQ(ev.find("ph")->str, "X");
-    EXPECT_EQ(ev.find("cat")->str, "mlvl");
-    EXPECT_NE(ev.find("name"), nullptr);
-    EXPECT_NE(ev.find("ts"), nullptr);
-    EXPECT_NE(ev.find("dur"), nullptr);
-    EXPECT_NE(ev.find("pid"), nullptr);
-    EXPECT_NE(ev.find("tid"), nullptr);
+    ASSERT_NE(ev.find("ph"), nullptr);
+    if (ev.find("ph")->str == "M")
+      meta.push_back(&ev);
+    else
+      spans.push_back(&ev);
+  }
+  ASSERT_EQ(spans.size(), 2u);
+  for (const io::JsonValue* ev : spans) {
+    EXPECT_EQ(ev->find("ph")->str, "X");
+    EXPECT_EQ(ev->find("cat")->str, "mlvl");
+    EXPECT_NE(ev->find("name"), nullptr);
+    EXPECT_NE(ev->find("ts"), nullptr);
+    EXPECT_NE(ev->find("dur"), nullptr);
+    EXPECT_NE(ev->find("pid"), nullptr);
+    EXPECT_NE(ev->find("tid"), nullptr);
   }
   // The escaped name round-trips through the emitter and the parser.
-  EXPECT_EQ(events->items[0].find("name")->str, "phase \"b\"\\with\nescapes");
+  EXPECT_EQ(spans[0]->find("name")->str, "phase \"b\"\\with\nescapes");
+  // Metadata names the process and the one recording thread.
+  bool process_named = false;
+  bool thread_named = false;
+  for (const io::JsonValue* m : meta) {
+    if (m->find("name")->str == "process_name") {
+      process_named = true;
+      EXPECT_EQ(m->find("args")->find("name")->str, "mlvl");
+    }
+    if (m->find("name")->str == "thread_name") {
+      thread_named = true;
+      EXPECT_EQ(m->find("args")->find("name")->str, "main");
+    }
+  }
+  EXPECT_TRUE(process_named);
+  EXPECT_TRUE(thread_named);
+}
+
+TEST(Trace, SpanArgsAreRecordedBoundedAndTruncated) {
+  obs::TraceSession session;
+  session.install();
+  {
+    obs::Span span("engine.job");
+    span.arg("spec", "hypercube(n=4)").arg("L", std::uint64_t{6});
+    span.arg("long", std::string(100, 'x'));
+    for (int i = 0; i < 10; ++i) span.arg("overflow", "y");  // past the cap
+  }
+  { obs::Span bare("no-args"); }
+  obs::TraceSession::uninstall();
+
+  const std::vector<obs::TraceEvent> events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  const obs::TraceEvent& ev = events[0];
+  ASSERT_EQ(ev.arg_count, obs::kMaxSpanArgs);  // capped, never overrun
+  EXPECT_STREQ(ev.args[0].key, "spec");
+  EXPECT_STREQ(ev.args[0].value, "hypercube(n=4)");
+  EXPECT_STREQ(ev.args[1].key, "L");
+  EXPECT_STREQ(ev.args[1].value, "6");
+  // Long values are truncated to the slot, NUL-terminated.
+  EXPECT_EQ(std::string(ev.args[2].value).size(), obs::kSpanArgValueCap - 1);
+  EXPECT_EQ(events[1].arg_count, 0u);
+
+  // Disabled: arg() must be a no-op on an unrecorded span, not a crash.
+  obs::Span dead("ignored");
+  dead.arg("k", "v");
 }
 
 // ---------------------------------------------------------------- metrics
@@ -211,6 +269,8 @@ TEST(Metrics, JsonIsWellFormedAndRoundTrips) {
   reg.write_json(os);
   std::optional<io::JsonValue> root = io::parse_json(os.str());
   ASSERT_TRUE(root.has_value()) << os.str();
+  ASSERT_NE(root->find("run_id"), nullptr);  // correlation stamp
+  EXPECT_FALSE(root->find("run_id")->str.empty());
   EXPECT_EQ(root->find("counters")->find("vias.placed")->number, 104);
   EXPECT_EQ(root->find("gauges")->find("layout.area")->number, 400);
   const io::JsonValue* h = root->find("histograms")->find("wire.edge_length");
@@ -220,6 +280,7 @@ TEST(Metrics, JsonIsWellFormedAndRoundTrips) {
 }
 
 TEST(Metrics, CsvHasHeaderAndStableRows) {
+  obs::set_run_id("csv-test-run");
   obs::MetricsRegistry reg;
   reg.install();
   obs::counter_add("b.counter", 2);
@@ -233,11 +294,12 @@ TEST(Metrics, CsvHasHeaderAndStableRows) {
   std::string line;
   std::vector<std::string> lines;
   while (std::getline(is, line)) lines.push_back(line);
-  ASSERT_GE(lines.size(), 4u);
+  ASSERT_GE(lines.size(), 5u);
   EXPECT_EQ(lines[0], "kind,name,field,value");
-  EXPECT_EQ(lines[1], "counter,a.counter,value,1");  // sorted by name
-  EXPECT_EQ(lines[2], "counter,b.counter,value,2");
-  EXPECT_EQ(lines[3], "gauge,a.gauge,value,1.5");
+  EXPECT_EQ(lines[1], "meta,run_id,value,csv-test-run");
+  EXPECT_EQ(lines[2], "counter,a.counter,value,1");  // sorted by name
+  EXPECT_EQ(lines[3], "counter,b.counter,value,2");
+  EXPECT_EQ(lines[4], "gauge,a.gauge,value,1.5");
 }
 
 // ------------------------------------------------- diagnostics integration
@@ -390,6 +452,7 @@ TEST(UsageText, NamesTheInstalledBinaryAndEveryFlagFamily) {
         "layout_tool soak", "-iters <N>", "-seed <N>", "-fault-rate <pct>",
         "bench-diff <baseline.json> <current.json>", "--max-regress",
         "--noise-floor", "--json", "--save-baseline", "--metrics-interval",
+        "profile <trace.json>", "--report <file>", "--top <N>",
         "exit codes: 0 valid, 1 invalid, 2 parse error, 3 usage"})
     EXPECT_NE(usage.find(needle), std::string::npos)
         << "usage text lost: " << needle;
