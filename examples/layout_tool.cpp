@@ -233,11 +233,11 @@ bool flush_obs(const CommonOptions& opt, const obs::TraceSession& trace,
   return ok;
 }
 
-int run_doctor(const std::vector<std::string>& args,
-               const CommonOptions& copt) {
+int run_doctor(const std::vector<std::string>& args, const CommonOptions& copt,
+               const CheckOptions& chk) {
   std::string file, save_path;
   bool do_repair = false;
-  ViaRule rule = ViaRule::kBlocking;
+  ViaRule rule = chk.via_rule;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "-repair") {
       do_repair = true;
@@ -264,12 +264,16 @@ int run_doctor(const std::vector<std::string>& args,
   }
 
   DiagnosticSink sink(256);
-  const std::uint64_t points =
-      check_layout_all(loaded->graph, loaded->geom, rule, sink);
+  Checker checker(loaded->graph, loaded->geom,
+                  {.via_rule = rule, .threads = chk.threads});
+  const CheckReport report = checker.check(sink);
   publish_sink_totals("doctor", sink);
+  if (copt.loud(2))
+    std::cout << "doctor: scanned " << report.bands_checked << " band(s), "
+              << report.points_examined << " point claim(s)\n";
   if (sink.empty()) {
     if (copt.loud())
-      std::cout << "doctor: layout valid (" << points
+      std::cout << "doctor: layout valid (" << report.points
                 << " occupied grid points)\n";
     return kExitValid;
   }
@@ -283,8 +287,9 @@ int run_doctor(const std::vector<std::string>& args,
   }
   if (!do_repair) return kExitInvalid;
 
-  robustness::RepairReport rep =
-      robustness::repair_layout(loaded->graph, loaded->geom, {.rule = rule});
+  robustness::RepairReport rep = robustness::repair_layout(
+      loaded->graph, loaded->geom,
+      {.rule = rule, .check_threads = chk.threads});
   if (copt.loud())
     std::cout << "\nrepair: " << rep.ripped.size() << " edge(s) ripped, "
               << rep.rerouted.size() << " re-routed, " << rep.failed.size()
@@ -311,10 +316,12 @@ int run_doctor(const std::vector<std::string>& args,
   return kExitInvalid;
 }
 
-int run_lint(const std::vector<std::string>& args, const CommonOptions& copt) {
+int run_lint(const std::vector<std::string>& args, const CommonOptions& copt,
+             const CheckOptions& chk) {
   std::string file, baseline_path, save_baseline_path;
   bool strict = false;
   analysis::LintConfig cfg;
+  cfg.via_rule = chk.via_rule;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "-strict") {
       strict = true;
@@ -423,8 +430,50 @@ void print_spec_errors(const DiagnosticSink& sink) {
               << "\n";
 }
 
-int run_layout(const std::vector<std::string>& args,
-               const CommonOptions& copt) {
+/// Pull --check-threads/--via-rule out of `args` (any position, any mode):
+/// the one shared CheckOptions parser. Every mode that runs the checker —
+/// layout, --doctor, --lint, sweep, soak — consumes the result; the older
+/// per-mode `-transparent` stays as an alias for `--via-rule transparent`.
+bool extract_check_options(std::vector<std::string>& args, CheckOptions& opt) {
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--check-threads") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "layout_tool: --check-threads wants a worker count\n";
+        return false;
+      }
+      std::uint32_t n = 0;
+      if (!parse_u32_flag(args[++i], "--check-threads", n)) return false;
+      if (n == 0 || n > 256) {
+        std::cerr << "layout_tool: --check-threads wants 1..256 workers\n";
+        return false;
+      }
+      opt.threads = n;
+    } else if (args[i] == "--via-rule") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "layout_tool: --via-rule wants blocking|transparent\n";
+        return false;
+      }
+      const std::string& v = args[++i];
+      if (v == "blocking") {
+        opt.via_rule = ViaRule::kBlocking;
+      } else if (v == "transparent") {
+        opt.via_rule = ViaRule::kTransparent;
+      } else {
+        std::cerr << "layout_tool: --via-rule wants blocking|transparent, got '"
+                  << v << "'\n";
+        return false;
+      }
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  return true;
+}
+
+int run_layout(const std::vector<std::string>& args, const CommonOptions& copt,
+               const CheckOptions& chk) {
   std::uint32_t L = 4;
   std::string svg_path, save_path;
   bool congestion = false, check = true;
@@ -469,6 +518,7 @@ int run_layout(const std::vector<std::string>& args,
   req.spec = *spec;
   req.options = {.L = L};
   req.check = check;
+  req.check_options = chk;  // via_rule is overridden by the realized layout
   api::LayoutResult result = api::run_layout(ortho, req);
   if (!result.ok) {
     std::cerr << "checker FAILED: " << result.error << "\n";
@@ -476,12 +526,16 @@ int run_layout(const std::vector<std::string>& args,
   }
   MultilayerLayout& ml = result.layout;
   if (check && copt.loud())
-    std::cout << "checker ok (" << result.check_points
+    std::cout << "checker ok (" << result.check_report.points
               << " occupied grid points, "
               << (ml.required_rule == ViaRule::kBlocking
                       ? "strict grid model"
                       : "stacked-via rule")
               << ")\n";
+  if (check && copt.loud(2))
+    std::cout << "checker: " << result.check_report.bands_checked
+              << " band(s) scanned across " << result.check_report.bands
+              << "\n";
 
   if (copt.obs_enabled()) {
     // Profiled pipeline extras: the fold baseline the paper compares against
@@ -649,11 +703,13 @@ int run_bench_diff(const std::vector<std::string>& args,
 /// deterministic for a given job list — timings only appear at -v — so
 /// `-j 8` output is byte-identical to `-j 1`.
 int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt,
+              const CheckOptions& chk,
               obs::RunReport::SweepSummary* sweep_out) {
   std::uint32_t l_lo = 4, l_hi = 4;
   std::uint32_t jobs_flag = 0;
   std::string journal_path, resume_path;
   engine::SweepOptions opt;
+  opt.check_threads = chk.threads;
   std::vector<std::string> patterns;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "-L" && i + 1 < args.size()) {
@@ -874,10 +930,12 @@ int run_sweep(const std::vector<std::string>& args, const CommonOptions& copt,
 /// deadlines off) a -j1 re-run of the first iteration on a fresh engine is
 /// byte-identical. Exit 0 = all invariants held (deadline/failed verdicts
 /// are expected outcomes, not violations); 1 = an invariant broke.
-int run_soak(const std::vector<std::string>& args, const CommonOptions& copt) {
+int run_soak(const std::vector<std::string>& args, const CommonOptions& copt,
+             const CheckOptions& chk) {
   std::uint32_t iters = 10, seed = 1, jobs_flag = 0, fault_pct = 25;
   std::uint32_t cache_cap = 64;
   engine::SweepOptions opt;
+  opt.check_threads = chk.threads;
   opt.max_retries = 2;
   opt.retry_backoff_ms = 0;  // chaos soaks measure invariants, not patience
   std::vector<std::string> patterns;
@@ -1099,6 +1157,8 @@ int run(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   CommonOptions copt;
   if (!extract_common(args, copt)) return usage();
+  CheckOptions chk;
+  if (!extract_check_options(args, chk)) return usage();
   if (args.empty()) return usage();
 
   obs::TraceSession trace;
@@ -1114,19 +1174,19 @@ int run(int argc, char** argv) {
   obs::RunReport::SweepSummary sweep_summary;
   int rc;
   if (args[0] == "--doctor")
-    rc = run_doctor({args.begin() + 1, args.end()}, copt);
+    rc = run_doctor({args.begin() + 1, args.end()}, copt, chk);
   else if (args[0] == "--lint")
-    rc = run_lint({args.begin() + 1, args.end()}, copt);
+    rc = run_lint({args.begin() + 1, args.end()}, copt, chk);
   else if (args[0] == "sweep")
-    rc = run_sweep({args.begin() + 1, args.end()}, copt, &sweep_summary);
+    rc = run_sweep({args.begin() + 1, args.end()}, copt, chk, &sweep_summary);
   else if (args[0] == "soak")
-    rc = run_soak({args.begin() + 1, args.end()}, copt);
+    rc = run_soak({args.begin() + 1, args.end()}, copt, chk);
   else if (args[0] == "bench-diff")
     rc = run_bench_diff({args.begin() + 1, args.end()}, copt);
   else if (args[0] == "profile")
     rc = run_profile({args.begin() + 1, args.end()}, copt);
   else
-    rc = run_layout(args, copt);
+    rc = run_layout(args, copt, chk);
 
   if (copt.obs_enabled()) {
     obs::publish_peak_rss();  // final high-water mark, into the dump below

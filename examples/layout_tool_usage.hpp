@@ -64,6 +64,11 @@ profile options:
   --json <file>     also write the machine-readable mlvl-profile-v1 report
   --top <N>         slowest-job rows to keep (default 10)
 
+checker options (all modes that verify geometry):
+  --check-threads <N>  parallel y-band occupancy-check workers (default 1);
+                    results are identical for every worker count
+  --via-rule <rule>  blocking | transparent: via occupancy model for
+                    --doctor and --lint (-transparent remains as an alias)
 observability (all modes):
   --trace <file>    write a Chrome trace-event JSON of every pipeline phase
   --metrics <file>  write the metrics registry (.csv extension -> CSV, else JSON)

@@ -88,12 +88,15 @@ LayoutResult run_layout(const Orthogonal2Layer& ortho,
   try {
     r.layout = realize(ortho, req.options);
     if (req.check) {
-      CheckResult res = check_layout(ortho.graph, r.layout);
-      if (!res.ok) {
-        r.error = res.error;
+      CheckOptions copt = req.check_options;
+      copt.via_rule = r.layout.required_rule;
+      Checker checker(ortho.graph, r.layout.geom, copt);
+      r.check_report = checker.check();
+      r.check_points = r.check_report.points;
+      if (!r.check_report.ok) {
+        r.error = r.check_report.error;
         return r;
       }
-      r.check_points = res.points;
     }
     r.metrics = compute_metrics(r.layout, ortho.graph);
   } catch (const CancelledError& ex) {

@@ -29,6 +29,9 @@ struct LayoutRequest {
   FamilySpec spec;
   RealizeOptions options{};  ///< options.L validated to [2, 1024]
   bool check = true;         ///< run the geometric checker
+  /// Checker configuration (threads, band sizing). `via_rule` is ignored:
+  /// the realized layout's own required rule is always enforced.
+  CheckOptions check_options{};
   /// Optional cooperative budget (non-owning; may be shared across
   /// requests). When the token trips mid-pipeline, run_layout returns a
   /// failed result with a kJobDeadline diagnostic instead of finishing the
@@ -44,7 +47,9 @@ struct LayoutResult {
   LayoutMetrics metrics;
   std::uint64_t nodes = 0;
   std::uint64_t edges = 0;
-  std::uint64_t check_points = 0;  ///< grid points examined (0 if unchecked)
+  /// Full banded checker report (default-initialized if unchecked).
+  CheckReport check_report;
+  std::uint64_t check_points = 0;  ///< == check_report.points (legacy field)
 };
 
 /// Validate realize options at the API boundary. Reports kSpecBadLayerCount

@@ -1,8 +1,37 @@
+// Band-sharded occupancy checking (see checker.hpp and DESIGN.md §7.13).
+//
+// A pass has three phases:
+//   1. Frame scan (serial, record-level): coordinate-range gate, node-box
+//      bounds/duplicate/overlap checks, segment/via frame checks. No point
+//      expansion — box overlap is detected analytically with a per-layer
+//      interval sweep, so this phase is O(records log records) and cheap
+//      enough to re-run on every incremental pass.
+//   2. Band scan (parallel): records are binned into y-bands; each dirty
+//      band claims its clipped points into a dense per-worker occupancy
+//      slab (owner array indexed by (row, x, layer)) — one probe per point,
+//      no hashing, no global sort. Bands whose slab would exceed the budget
+//      fall back to the sorted (point, edge) pair detector per band. The
+//      path is a pure function of the grid dimensions, so results stay
+//      deterministic. Terminal theft is checked by probing the slab under
+//      every node box.
+//   3. Connectivity (parallel over edges): per-edge BFS over the edge's own
+//      points, unchanged from the classic checker, re-run only for edges
+//      whose rows intersect dirty bands.
+// Per-band and per-edge results are merged into the sink in band-index /
+// edge-id order, which makes the diagnostic sequence independent of the
+// worker count and identical between a full check and an incremental
+// recheck of the same geometry.
 #include "core/checker.hpp"
 
 #include <algorithm>
-#include <unordered_map>
-#include <vector>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <utility>
 
 #include "core/cancel.hpp"
 #include "core/gridkey.hpp"
@@ -10,6 +39,7 @@
 #include "obs/trace.hpp"
 
 namespace mlvl {
+namespace {
 
 using grid::key3;
 using grid::key_x;
@@ -17,311 +47,869 @@ using grid::key_y;
 using grid::key_z;
 using grid::kCoordMax;
 
-std::uint64_t check_layout_all(const Graph& g, const LayoutGeometry& geom,
-                               ViaRule rule, DiagnosticSink& sink) {
-  obs::Span span("check");
-  auto report = [&](Diagnostic d) { sink.report(std::move(d)); };
-  auto at = [](std::uint64_t k, Diagnostic d) {
-    d.has_point = true;
-    d.x = key_x(k);
-    d.y = key_y(k);
-    d.layer = static_cast<std::uint16_t>(key_z(k));
-    return d;
-  };
+/// Per-worker dense slab budget: 4M owner cells (16 MiB). Bands whose
+/// (rows × width × layers) slab exceeds this use the sorted fallback.
+constexpr std::uint64_t kDenseCellBudget = std::uint64_t{1} << 22;
+/// Auto band sizing targets about this many bands.
+constexpr std::uint32_t kTargetBands = 64;
 
-  if (geom.width > kCoordMax || geom.height > kCoordMax ||
-      geom.num_layers > kCoordMax) {
-    report({.code = Code::kCoordRange});
-    return 0;
+Diagnostic at_point(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                    Diagnostic d) {
+  d.has_point = true;
+  d.x = x;
+  d.y = y;
+  d.layer = static_cast<std::uint16_t>(z);
+  return d;
+}
+
+Diagnostic at_key(std::uint64_t k, Diagnostic d) {
+  return at_point(key_x(k), key_y(k), key_z(k), std::move(d));
+}
+
+/// Fans every violation into the sink while tracking the pass verdict
+/// locally: the count and first diagnostic are recorded even for
+/// violations the sink has no room for, so `CheckReport::ok` never
+/// depends on the sink capacity. Producers stop *reporting* once the sink
+/// is full (the sink's documented contract) but the checker may keep
+/// *finding* in incremental mode to complete its caches.
+struct Reporter {
+  DiagnosticSink& sink;
+  std::uint64_t found = 0;
+  Diagnostic first;
+
+  void operator()(Diagnostic d) {
+    if (found++ == 0) first = d;
+    if (!sink.full()) sink.report(std::move(d));
   }
+};
 
-  // ---- Node boxes: bounds, per-layer disjointness, per-node presence. -----
+/// Record-level frame scan results handed to the band and connectivity
+/// phases.
+struct FrameResult {
+  std::vector<const NodeBox*> box_of;      ///< per node, registered box
+  std::vector<std::uint32_t> reg_boxes;    ///< geom indices of valid boxes
+  std::vector<char> edge_frame_ok;         ///< per edge
+};
+
+/// Phase 1: everything checkable without expanding points, reported in
+/// record order (boxes, then box overlaps, then segments, then vias). In
+/// non-thorough mode the scan stops once the sink is full, matching the
+/// classic producers-stop contract.
+void frame_scan(const Graph& g, const LayoutGeometry& geom, Reporter& rep,
+                bool thorough, FrameResult& fr) {
+  fr.box_of.assign(g.num_nodes(), nullptr);
+  fr.edge_frame_ok.assign(g.num_edges(), 1);
+  fr.reg_boxes.clear();
+
   if (geom.boxes.size() != g.num_nodes())
-    report({.code = Code::kBoxCountMismatch,
-            .detail = std::to_string(geom.boxes.size()) + " boxes for " +
-                      std::to_string(g.num_nodes()) + " nodes"});
-  std::unordered_map<std::uint64_t, NodeId> box_at;  // keyed (x, y, layer)
-  std::vector<const NodeBox*> box_of(g.num_nodes(), nullptr);
-  for (const NodeBox& b : geom.boxes) {
-    if (sink.full()) return 0;
+    rep({.code = Code::kBoxCountMismatch,
+         .detail = std::to_string(geom.boxes.size()) + " boxes for " +
+                   std::to_string(g.num_nodes()) + " nodes"});
+  for (std::size_t bi = 0; bi < geom.boxes.size(); ++bi) {
+    if (!thorough && rep.sink.full()) return;
+    const NodeBox& b = geom.boxes[bi];
     if (b.node >= g.num_nodes()) {
-      report({.code = Code::kBoxUnknownNode,
-              .detail = "node id " + std::to_string(b.node)});
+      rep({.code = Code::kBoxUnknownNode,
+           .detail = "node id " + std::to_string(b.node)});
       continue;
     }
-    if (box_of[b.node]) {
-      report({.code = Code::kBoxDuplicate, .node = b.node});
+    if (fr.box_of[b.node]) {
+      rep({.code = Code::kBoxDuplicate, .node = b.node});
       continue;
     }
-    box_of[b.node] = &b;
+    fr.box_of[b.node] = &b;
     bool frame_ok = true;
     if (b.w == 0 || b.h == 0 ||
         static_cast<std::uint64_t>(b.x) + b.w > geom.width ||
         static_cast<std::uint64_t>(b.y) + b.h > geom.height) {
-      report({.code = Code::kBoxOutOfBounds,
-              .has_point = true,
-              .x = b.x,
-              .y = b.y,
-              .layer = b.layer,
-              .node = b.node});
+      rep({.code = Code::kBoxOutOfBounds,
+           .has_point = true,
+           .x = b.x,
+           .y = b.y,
+           .layer = b.layer,
+           .node = b.node});
       frame_ok = false;
     }
     if (b.layer < 1 || b.layer > geom.num_layers) {
-      report({.code = Code::kBoxLayerRange,
-              .has_point = true,
-              .x = b.x,
-              .y = b.y,
-              .layer = b.layer,
-              .node = b.node});
+      rep({.code = Code::kBoxLayerRange,
+           .has_point = true,
+           .x = b.x,
+           .y = b.y,
+           .layer = b.layer,
+           .node = b.node});
       frame_ok = false;
     }
     if (!frame_ok) continue;  // cells unbounded/invalid: do not register
-    bool overlapped = false;
-    for (std::uint32_t yy = b.y; yy < b.y + b.h && !overlapped; ++yy)
-      for (std::uint32_t xx = b.x; xx < b.x + b.w; ++xx)
-        if (!box_at.emplace(key3(xx, yy, b.layer), b.node).second) {
-          report(at(key3(xx, yy, b.layer),
-                    {.code = Code::kBoxOverlap, .node = b.node}));
-          overlapped = true;  // one report per box pair, not per point
-          break;
-        }
+    fr.reg_boxes.push_back(static_cast<std::uint32_t>(bi));
   }
 
-  // ---- Wire occupancy ------------------------------------------------------
-  // Sort-based detection: one (point, edge) record per occupied grid point,
-  // sorted; a point shared by two different edges is a collision. This is
-  // both faster and leaner than hashing for the multi-million-point layouts
-  // the benches verify. Records with a broken frame (unknown edge, malformed
-  // or out-of-bounds extent) are diagnosed and skipped: expanding them could
-  // blow up the point loops, and their owning edge is excluded from the
-  // connectivity phase to avoid cascading noise.
-  std::vector<char> edge_frame_ok(g.num_edges(), 1);
-  std::vector<std::pair<std::uint64_t, EdgeId>> occ;
+  // Box disjointness: per-layer sweep over the registered boxes sorted by
+  // top row, with an active list pruned on row exit. One report per
+  // overlapping box (keyed by the later geometry index), placed at the
+  // top-left cell of the overlap rectangle — the first cell the classic
+  // per-point registration would have found taken.
   {
-    std::size_t estimate = geom.vias.size() * 2;
-    for (const WireSeg& s : geom.segs)
-      if (s.x2 < geom.width && s.y2 < geom.height && s.x1 <= s.x2 &&
-          s.y1 <= s.y2)
-        estimate += static_cast<std::size_t>(s.length()) + 1;
-    occ.reserve(estimate);
+    std::vector<std::uint32_t> order = fr.reg_boxes;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const NodeBox& A = geom.boxes[a];
+                const NodeBox& B = geom.boxes[b];
+                return std::tie(A.layer, A.y, a) < std::tie(B.layer, B.y, b);
+              });
+    struct Hit {
+      std::uint32_t later, oy, ox;
+    };
+    std::vector<Hit> hits;
+    std::vector<std::uint32_t> active;
+    int cur_layer = -1;
+    for (std::uint32_t bi : order) {
+      const NodeBox& b = geom.boxes[bi];
+      if (static_cast<int>(b.layer) != cur_layer) {
+        active.clear();
+        cur_layer = b.layer;
+      }
+      std::erase_if(active, [&](std::uint32_t ai) {
+        const NodeBox& a = geom.boxes[ai];
+        return a.y + a.h <= b.y;
+      });
+      for (std::uint32_t ai : active) {
+        const NodeBox& a = geom.boxes[ai];
+        if (a.x < b.x + b.w && b.x < a.x + a.w)  // rows overlap by sweep
+          hits.push_back({std::max(ai, bi), std::max(a.y, b.y),
+                          std::max(a.x, b.x)});
+      }
+      active.push_back(bi);
+    }
+    std::sort(hits.begin(), hits.end(), [](const Hit& l, const Hit& r) {
+      return std::tie(l.later, l.oy, l.ox) < std::tie(r.later, r.oy, r.ox);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      if (i > 0 && hits[i].later == hits[i - 1].later) continue;
+      if (!thorough && rep.sink.full()) return;
+      const NodeBox& b = geom.boxes[hits[i].later];
+      rep(at_point(hits[i].ox, hits[i].oy, b.layer,
+                   {.code = Code::kBoxOverlap, .node = b.node}));
+    }
   }
-  auto claim = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z,
-                   EdgeId e) { occ.emplace_back(key3(x, y, z), e); };
 
   for (const WireSeg& s : geom.segs) {
-    poll_cancellation("check");
-    if (sink.full()) return 0;
+    if (!thorough && rep.sink.full()) return;
     if (s.edge >= g.num_edges()) {
-      report({.code = Code::kSegUnknownEdge,
-              .has_point = true,
-              .x = s.x1,
-              .y = s.y1,
-              .layer = s.layer,
-              .detail = "edge id " + std::to_string(s.edge)});
+      rep({.code = Code::kSegUnknownEdge,
+           .has_point = true,
+           .x = s.x1,
+           .y = s.y1,
+           .layer = s.layer,
+           .detail = "edge id " + std::to_string(s.edge)});
       continue;
     }
     bool ok = true;
     if (s.x1 > s.x2 || s.y1 > s.y2 || (s.x1 != s.x2 && s.y1 != s.y2)) {
-      report({.code = Code::kSegMalformed,
-              .has_point = true,
-              .x = s.x1,
-              .y = s.y1,
-              .layer = s.layer,
-              .edge = s.edge});
+      rep({.code = Code::kSegMalformed,
+           .has_point = true,
+           .x = s.x1,
+           .y = s.y1,
+           .layer = s.layer,
+           .edge = s.edge});
       ok = false;
     }
     if (ok && (s.x2 >= geom.width || s.y2 >= geom.height)) {
-      report({.code = Code::kSegOutOfBounds,
-              .has_point = true,
-              .x = s.x2,
-              .y = s.y2,
-              .layer = s.layer,
-              .edge = s.edge});
+      rep({.code = Code::kSegOutOfBounds,
+           .has_point = true,
+           .x = s.x2,
+           .y = s.y2,
+           .layer = s.layer,
+           .edge = s.edge});
       ok = false;
     }
     if (s.layer < 1 || s.layer > geom.num_layers) {
-      report({.code = Code::kSegLayerRange,
-              .has_point = true,
-              .x = s.x1,
-              .y = s.y1,
-              .layer = s.layer,
-              .edge = s.edge});
+      rep({.code = Code::kSegLayerRange,
+           .has_point = true,
+           .x = s.x1,
+           .y = s.y1,
+           .layer = s.layer,
+           .edge = s.edge});
       ok = false;
     }
-    if (!ok) {
-      edge_frame_ok[s.edge] = 0;
-      continue;
-    }
-    for (std::uint32_t yy = s.y1; yy <= s.y2; ++yy)
-      for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
-        claim(xx, yy, s.layer, s.edge);
+    if (!ok) fr.edge_frame_ok[s.edge] = 0;
   }
   for (const Via& v : geom.vias) {
-    if (sink.full()) return 0;
+    if (!thorough && rep.sink.full()) return;
     if (v.edge >= g.num_edges()) {
-      report({.code = Code::kViaUnknownEdge,
-              .has_point = true,
-              .x = v.x,
-              .y = v.y,
-              .layer = v.z1,
-              .detail = "edge id " + std::to_string(v.edge)});
+      rep({.code = Code::kViaUnknownEdge,
+           .has_point = true,
+           .x = v.x,
+           .y = v.y,
+           .layer = v.z1,
+           .detail = "edge id " + std::to_string(v.edge)});
       continue;
     }
     bool ok = true;
     if (v.z1 < 1 || v.z2 > geom.num_layers || v.z1 > v.z2) {
-      report({.code = Code::kViaSpanInvalid,
-              .has_point = true,
-              .x = v.x,
-              .y = v.y,
-              .layer = v.z1,
-              .edge = v.edge});
+      rep({.code = Code::kViaSpanInvalid,
+           .has_point = true,
+           .x = v.x,
+           .y = v.y,
+           .layer = v.z1,
+           .edge = v.edge});
       ok = false;
     }
     if (v.x >= geom.width || v.y >= geom.height) {
-      report({.code = Code::kViaOutOfBounds,
-              .has_point = true,
-              .x = v.x,
-              .y = v.y,
-              .layer = v.z1,
-              .edge = v.edge});
+      rep({.code = Code::kViaOutOfBounds,
+           .has_point = true,
+           .x = v.x,
+           .y = v.y,
+           .layer = v.z1,
+           .edge = v.edge});
       ok = false;
     }
-    if (!ok) {
-      edge_frame_ok[v.edge] = 0;
-      continue;
+    if (!ok) fr.edge_frame_ok[v.edge] = 0;
+  }
+}
+
+std::uint32_t resolve_threads(std::uint32_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+/// Run fn(index, worker) for every index in [0, n) on up to `threads`
+/// workers pulling from a shared atomic cursor. Each worker re-installs the
+/// spawning thread's cancellation token (thread-locals do not inherit); the
+/// first exception aborts the remaining work and is rethrown after join.
+/// threads <= 1 runs inline with worker id 0.
+template <typename Fn>
+void parallel_for(std::uint32_t threads, std::size_t n, Fn&& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, std::uint32_t{0});
+    return;
+  }
+  const auto nw =
+      static_cast<std::uint32_t>(std::min<std::size_t>(threads, n));
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> abort{false};
+  std::mutex ex_mu;
+  std::exception_ptr first_ex;
+  const CancelToken* token = current_cancel_token();
+  std::vector<std::thread> pool;
+  pool.reserve(nw);
+  for (std::uint32_t w = 0; w < nw; ++w) {
+    pool.emplace_back([&, w] {
+      CancelScope scope(token);
+      try {
+        while (!abort.load(std::memory_order_relaxed)) {
+          const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) break;
+          fn(i, w);
+        }
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(ex_mu);
+          if (!first_ex) first_ex = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_ex) std::rethrow_exception(first_ex);
+}
+
+/// Records binned to one band for this pass (geometry indices).
+struct BandInput {
+  std::vector<std::uint32_t> segs, vias, boxes;
+};
+
+/// One band's scan output, merged into the sink in band-index order.
+struct BandResult {
+  std::vector<Diagnostic> diags;
+  std::uint64_t points = 0;
+  std::uint64_t examined = 0;
+  bool scanned = false;
+};
+
+/// Per-worker reusable scratch (never shared between concurrent bands).
+struct BandScratch {
+  std::vector<std::uint32_t> owner;    ///< dense slab: cell -> edge id + 1
+  std::vector<std::uint32_t> touched;  ///< claimed cells, for O(claims) reset
+  /// Colliding claims (cell, edge) beyond the slab's first owner — the slab
+  /// keeps one owner per cell, but terminal theft must see every claimant.
+  std::vector<std::pair<std::uint32_t, EdgeId>> extras;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> occ;  ///< fallback
+};
+
+struct BandContext {
+  const Graph& g;
+  const LayoutGeometry& geom;
+  ViaRule rule;
+  std::uint32_t rows;
+  std::uint32_t height;
+  std::uint32_t width;
+  std::uint32_t layers;
+  std::size_t diag_cap;
+};
+
+/// Dense path: claims probe a flat owner slab indexed (row, x, layer);
+/// terminal theft probes the slab under each box's cells.
+void scan_band_dense(const BandContext& ctx, std::uint32_t band,
+                     const BandInput& in, BandResult& out, BandScratch& sc) {
+  const std::uint32_t y0 = band * ctx.rows;
+  const std::uint32_t y1 = std::min(ctx.height, y0 + ctx.rows);
+  const std::uint64_t row_stride =
+      static_cast<std::uint64_t>(ctx.width) * ctx.layers;
+  const auto slab = static_cast<std::size_t>((y1 - y0) * row_stride);
+  if (sc.owner.size() < slab) sc.owner.resize(slab, 0);
+
+  auto cell = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return static_cast<std::size_t>((y - y0) * row_stride +
+                                    static_cast<std::uint64_t>(x) * ctx.layers +
+                                    (z - 1));
+  };
+  auto add_diag = [&](Diagnostic d) {
+    if (out.diags.size() < ctx.diag_cap) out.diags.push_back(std::move(d));
+  };
+  auto claim = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                   EdgeId e) {
+    ++out.examined;
+    const std::size_t i = cell(x, y, z);
+    std::uint32_t& o = sc.owner[i];
+    if (o == 0) {
+      o = e + 1;
+      sc.touched.push_back(static_cast<std::uint32_t>(i));
+      ++out.points;
+    } else if (o != e + 1) {
+      ++out.points;  // a distinct (point, edge) claim that also collides
+      sc.extras.emplace_back(static_cast<std::uint32_t>(i), e);
+      add_diag(at_point(x, y, z, {.code = Code::kPointCollision,
+                                  .edge = o - 1,
+                                  .edge2 = e}));
     }
-    if (rule == ViaRule::kBlocking) {
-      for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz) claim(v.x, v.y, zz, v.edge);
+  };
+
+  for (std::uint32_t si : in.segs) {
+    poll_cancellation("check");
+    const WireSeg& s = ctx.geom.segs[si];
+    const std::uint32_t lo = std::max(s.y1, y0);
+    const std::uint32_t hi = std::min(s.y2, y1 - 1);
+    for (std::uint32_t yy = lo; yy <= hi; ++yy)
+      for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
+        claim(xx, yy, s.layer, s.edge);
+  }
+  for (std::uint32_t vi : in.vias) {
+    const Via& v = ctx.geom.vias[vi];
+    if (ctx.rule == ViaRule::kBlocking) {
+      for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz)
+        claim(v.x, v.y, zz, v.edge);
+    } else {
+      claim(v.x, v.y, v.z1, v.edge);
+      if (v.z2 != v.z1) claim(v.x, v.y, v.z2, v.edge);
+    }
+  }
+  // Wires on an active layer may only touch their endpoints' boxes.
+  for (std::uint32_t bi : in.boxes) {
+    poll_cancellation("check");
+    const NodeBox& b = ctx.geom.boxes[bi];
+    const std::uint32_t lo = std::max(b.y, y0);
+    const std::uint32_t hi = std::min(b.y + b.h - 1, y1 - 1);
+    for (std::uint32_t yy = lo; yy <= hi; ++yy)
+      for (std::uint32_t xx = b.x; xx < b.x + b.w; ++xx) {
+        const std::uint32_t o = sc.owner[cell(xx, yy, b.layer)];
+        if (o == 0) continue;
+        const Edge& ed = ctx.g.edge(o - 1);
+        if (b.node != ed.u && b.node != ed.v)
+          add_diag(at_point(xx, yy, b.layer, {.code = Code::kTerminalTheft,
+                                              .edge = o - 1,
+                                              .node = b.node}));
+      }
+  }
+  // Colliding claims displaced from the slab get the same theft test: the
+  // cell coordinates come back out of the flat index.
+  if (!sc.extras.empty()) {
+    std::sort(sc.extras.begin(), sc.extras.end());
+    sc.extras.erase(std::unique(sc.extras.begin(), sc.extras.end()),
+                    sc.extras.end());
+    for (const auto& [i, e] : sc.extras) {
+      const auto yy =
+          static_cast<std::uint32_t>(y0 + i / row_stride);
+      const auto rem = static_cast<std::uint32_t>(i % row_stride);
+      const std::uint32_t xx = rem / ctx.layers;
+      const std::uint32_t zz = rem % ctx.layers + 1;
+      const Edge& ed = ctx.g.edge(e);
+      for (std::uint32_t bi : in.boxes) {
+        const NodeBox& b = ctx.geom.boxes[bi];
+        if (b.layer != zz || !b.contains(xx, yy)) continue;
+        if (b.node != ed.u && b.node != ed.v)
+          add_diag(at_point(xx, yy, zz, {.code = Code::kTerminalTheft,
+                                         .edge = e,
+                                         .node = b.node}));
+      }
+    }
+    sc.extras.clear();
+  }
+  for (std::uint32_t i : sc.touched) sc.owner[i] = 0;
+  sc.touched.clear();
+}
+
+/// Fallback for bands whose dense slab would exceed the budget: the classic
+/// sorted (point, edge) pair detector, restricted to one band.
+void scan_band_sorted(const BandContext& ctx, std::uint32_t band,
+                      const BandInput& in, BandResult& out, BandScratch& sc) {
+  const std::uint32_t y0 = band * ctx.rows;
+  const std::uint32_t y1 = std::min(ctx.height, y0 + ctx.rows);
+  auto add_diag = [&](Diagnostic d) {
+    if (out.diags.size() < ctx.diag_cap) out.diags.push_back(std::move(d));
+  };
+  sc.occ.clear();
+  auto claim = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                   EdgeId e) {
+    ++out.examined;
+    sc.occ.emplace_back(key3(x, y, z), e);
+  };
+  for (std::uint32_t si : in.segs) {
+    poll_cancellation("check");
+    const WireSeg& s = ctx.geom.segs[si];
+    const std::uint32_t lo = std::max(s.y1, y0);
+    const std::uint32_t hi = std::min(s.y2, y1 - 1);
+    for (std::uint32_t yy = lo; yy <= hi; ++yy)
+      for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
+        claim(xx, yy, s.layer, s.edge);
+  }
+  for (std::uint32_t vi : in.vias) {
+    const Via& v = ctx.geom.vias[vi];
+    if (ctx.rule == ViaRule::kBlocking) {
+      for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz)
+        claim(v.x, v.y, zz, v.edge);
     } else {
       claim(v.x, v.y, v.z1, v.edge);
       claim(v.x, v.y, v.z2, v.edge);
     }
   }
-  std::sort(occ.begin(), occ.end());
-  for (std::size_t i = 1; i < occ.size() && !sink.full(); ++i) {
-    if (occ[i].first == occ[i - 1].first && occ[i].second != occ[i - 1].second)
-      report(at(occ[i].first, {.code = Code::kPointCollision,
-                               .edge = occ[i - 1].second,
-                               .edge2 = occ[i].second}));
-  }
-  occ.erase(std::unique(occ.begin(), occ.end()), occ.end());
-  const std::uint64_t points = occ.size();
-  obs::gauge_max("grid.peak_occupancy", static_cast<double>(points));
+  std::sort(sc.occ.begin(), sc.occ.end());
+  for (std::size_t i = 1; i < sc.occ.size(); ++i)
+    if (sc.occ[i].first == sc.occ[i - 1].first &&
+        sc.occ[i].second != sc.occ[i - 1].second)
+      add_diag(at_key(sc.occ[i].first, {.code = Code::kPointCollision,
+                                        .edge = sc.occ[i - 1].second,
+                                        .edge2 = sc.occ[i].second}));
+  sc.occ.erase(std::unique(sc.occ.begin(), sc.occ.end()), sc.occ.end());
+  out.points = sc.occ.size();
 
-  // ---- Wires on an active layer may only touch their endpoints' boxes. ----
-  for (const auto& [k, e] : occ) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> box_cells;
+  for (std::uint32_t bi : in.boxes) {
     poll_cancellation("check");
-    if (sink.full()) return points;
-    auto it = box_at.find(k);
-    if (it == box_at.end()) continue;
-    const Edge& ed = g.edge(e);
-    if (it->second != ed.u && it->second != ed.v)
-      report(at(k, {.code = Code::kTerminalTheft, .edge = e,
-                    .node = it->second}));
+    const NodeBox& b = ctx.geom.boxes[bi];
+    const std::uint32_t lo = std::max(b.y, y0);
+    const std::uint32_t hi = std::min(b.y + b.h - 1, y1 - 1);
+    for (std::uint32_t yy = lo; yy <= hi; ++yy)
+      for (std::uint32_t xx = b.x; xx < b.x + b.w; ++xx)
+        box_cells.emplace_back(key3(xx, yy, b.layer), bi);
+  }
+  std::sort(box_cells.begin(), box_cells.end());
+  for (const auto& [k, e] : sc.occ) {
+    const auto it = std::lower_bound(
+        box_cells.begin(), box_cells.end(), k,
+        [](const auto& p, std::uint64_t key) { return p.first < key; });
+    if (it == box_cells.end() || it->first != k) continue;
+    const NodeBox& b = ctx.geom.boxes[it->second];
+    const Edge& ed = ctx.g.edge(e);
+    if (b.node != ed.u && b.node != ed.v)
+      add_diag(at_key(k, {.code = Code::kTerminalTheft,
+                          .edge = e,
+                          .node = b.node}));
+  }
+}
+
+/// Phase 3 for one edge: BFS over its own (deduplicated) points; at most
+/// one diagnostic (unrouted / disconnected / misses-terminal).
+std::vector<Diagnostic> verify_edge(const Graph& g, EdgeId e,
+                                    std::vector<std::uint64_t>& p,
+                                    const std::vector<const NodeBox*>& box_of) {
+  poll_cancellation("check");
+  std::vector<Diagnostic> out;
+  if (p.empty()) {
+    out.push_back({.code = Code::kEdgeUnrouted, .edge = e});
+    return out;
+  }
+  std::sort(p.begin(), p.end());
+  p.erase(std::unique(p.begin(), p.end()), p.end());
+
+  // Connectivity by union-find over the sorted keys. x sits in the key's low
+  // bits, so the +x neighbour (if present) is the next element; +y and +z
+  // neighbours are one binary search each. Every adjacent pair is seen from
+  // its lower endpoint, so three probes per point cover the 6-neighbourhood.
+  const auto n = static_cast<std::uint32_t>(p.size());
+  std::vector<std::uint32_t> parent(n);
+  for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](std::uint32_t i) {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];  // path halving
+      i = parent[i];
+    }
+    return i;
+  };
+  auto unite = [&](std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+  auto probe = [&](std::uint32_t i, std::uint64_t want) {
+    const auto it = std::lower_bound(p.begin() + i + 1, p.end(), want);
+    if (it != p.end() && *it == want)
+      unite(i, static_cast<std::uint32_t>(it - p.begin()));
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t k = p[i];
+    if (i + 1 < n && p[i + 1] == k + 1 && key_x(k) != kCoordMax)
+      unite(i, i + 1);
+    if (key_y(k) != kCoordMax) probe(i, k + (1ull << grid::kCoordBits));
+    probe(i, k + (1ull << (2 * grid::kCoordBits)));
+  }
+  const std::uint32_t root = find(0);
+  for (std::uint32_t i = 1; i < n; ++i)
+    if (find(i) != root) {
+      // A stranded point: the diagnostic names real coordinates.
+      out.push_back(at_key(p[i], {.code = Code::kEdgeDisconnected,
+                                  .edge = e}));
+      return out;
+    }
+
+  const Edge& ed = g.edge(e);
+  const NodeBox* bu = box_of[ed.u];
+  const NodeBox* bv = box_of[ed.v];
+  bool touch_u = false, touch_v = false;
+  for (std::uint32_t i = 0; i < n && !(touch_u && touch_v); ++i) {
+    const std::uint32_t xx = key_x(p[i]);
+    const std::uint32_t yy = key_y(p[i]);
+    const std::uint32_t zz = key_z(p[i]);
+    if (bu && zz == bu->layer && bu->contains(xx, yy)) touch_u = true;
+    if (bv && zz == bv->layer && bv->contains(xx, yy)) touch_v = true;
+  }
+  if ((!touch_u && bu) || (!touch_v && bv)) {
+    const NodeBox* missing = (!touch_u && bu) ? bu : bv;
+    out.push_back({.code = Code::kEdgeMissesTerminal,
+                   .has_point = true,
+                   .x = missing->x,
+                   .y = missing->y,
+                   .layer = missing->layer,
+                   .edge = e,
+                   .node = missing->node});
+  }
+  return out;
+}
+
+}  // namespace
+
+Checker::Checker(const Graph& g, const LayoutGeometry& geom, CheckOptions opt)
+    : g_(g), geom_(geom), opt_(opt) {}
+
+void Checker::mark_dirty(const DirtyRegion& region) {
+  if (bands_.empty()) return;
+  const std::uint32_t lo = std::min(region.y1, region.y2);
+  const std::uint32_t hi = std::max(region.y1, region.y2);
+  const std::uint32_t b0 = std::min(lo / rows_per_band_, num_bands_ - 1);
+  const std::uint32_t b1 = std::min(hi / rows_per_band_, num_bands_ - 1);
+  for (std::uint32_t b = b0; b <= b1; ++b) bands_[b].dirty = true;
+}
+
+void Checker::mark_all_dirty() {
+  for (BandCache& b : bands_) b.dirty = true;
+}
+
+CheckReport Checker::check(DiagnosticSink& sink) { return run(sink, false); }
+
+CheckReport Checker::check() {
+  DiagnosticSink sink(1);
+  return run(sink, false);
+}
+
+CheckReport Checker::recheck(DiagnosticSink& sink) { return run(sink, true); }
+
+CheckReport Checker::recheck() {
+  DiagnosticSink sink(1);
+  return run(sink, true);
+}
+
+CheckReport Checker::run(DiagnosticSink& sink, bool incremental_pass) {
+  obs::Span span("check");
+  const auto t0 = std::chrono::steady_clock::now();
+  CheckReport rep;
+  const bool thorough = opt_.incremental;
+  Reporter reporter{sink};
+  auto finalize = [&]() -> CheckReport& {
+    rep.ok = reporter.found == 0;
+    if (!rep.ok) rep.error = reporter.first.to_string();
+    rep.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    obs::counter_add("check.bands.dirty", rep.bands_checked);
+    obs::counter_add("check.bands.clean", rep.bands_skipped);
+    obs::counter_add("check.points.examined", rep.points_examined);
+    obs::gauge_set("grid.points", static_cast<double>(rep.points));
+    obs::gauge_max("grid.peak_occupancy", static_cast<double>(rep.points));
+    return rep;
+  };
+
+  if (geom_.width > kCoordMax || geom_.height > kCoordMax ||
+      geom_.num_layers > kCoordMax) {
+    reporter({.code = Code::kCoordRange});
+    built_ = false;
+    return finalize();
   }
 
-  // ---- Per-edge connectivity ----------------------------------------------
-  if (sink.full()) return points;
-  std::vector<std::vector<std::uint64_t>> pts(g.num_edges());
-  for (const WireSeg& s : geom.segs) {
-    if (s.edge >= g.num_edges() || !edge_frame_ok[s.edge]) continue;
-    for (std::uint32_t yy = s.y1; yy <= s.y2; ++yy)
-      for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
-        pts[s.edge].push_back(key3(xx, yy, s.layer));
-  }
-  for (const Via& v : geom.vias) {  // full column: vias always connect
-    if (v.edge >= g.num_edges() || !edge_frame_ok[v.edge]) continue;
-    for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz)
-      pts[v.edge].push_back(key3(v.x, v.y, zz));
+  // (Re)establish the band layout. A recheck degrades to a full pass when
+  // no completed full pass backs the caches or the grid shape changed.
+  const std::uint32_t num_edges = g_.num_edges();
+  if (incremental_pass &&
+      (!built_ || built_width_ != geom_.width ||
+       built_height_ != geom_.height || built_layers_ != geom_.num_layers ||
+       edges_.size() != num_edges))
+    incremental_pass = false;
+  if (!incremental_pass) {
+    const std::uint32_t h = std::max<std::uint32_t>(geom_.height, 1);
+    std::uint32_t rows =
+        opt_.band_rows != 0
+            ? opt_.band_rows
+            : std::max<std::uint32_t>(1, (h + kTargetBands - 1) / kTargetBands);
+    const std::uint64_t slab = static_cast<std::uint64_t>(geom_.width) *
+                               std::max<std::uint32_t>(geom_.num_layers, 1);
+    if (opt_.band_rows == 0 && slab != 0 &&
+        static_cast<std::uint64_t>(rows) * slab > kDenseCellBudget) {
+      // More, thinner bands keep the dense slab within budget.
+      const std::uint64_t fit = kDenseCellBudget / slab;
+      if (fit >= 1)
+        rows = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(rows, fit));
+    }
+    rows_per_band_ = rows;
+    num_bands_ = (h + rows - 1) / rows;
+    dense_ = geom_.width != 0 &&
+             static_cast<std::uint64_t>(rows) * slab <= kDenseCellBudget;
+    built_width_ = geom_.width;
+    built_height_ = geom_.height;
+    built_layers_ = geom_.num_layers;
+    bands_.assign(num_bands_, BandCache{});
+    edges_.assign(num_edges, EdgeCache{});
+    built_ = false;
   }
 
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    poll_cancellation("check");
-    if (sink.full()) return points;
-    if (!edge_frame_ok[e]) continue;  // already diagnosed above
-    auto& p = pts[e];
-    if (p.empty()) {
-      report({.code = Code::kEdgeUnrouted, .edge = e});
+  // Phase 1: frame scan.
+  FrameResult fr;
+  frame_scan(g_, geom_, reporter, thorough, fr);
+  if (!thorough && sink.full()) {
+    built_ = false;
+    mark_all_dirty();
+    return finalize();
+  }
+
+  auto band_of = [&](std::uint32_t y) {
+    return std::min(y / rows_per_band_, num_bands_ - 1);
+  };
+
+  // Frame validity gates whether an edge's records are binned at all, so an
+  // edge whose frame verdict flipped since the cached pass invalidates every
+  // band its records currently touch — the editor only marked the records it
+  // changed, but the exclusion applies to the whole edge.
+  if (incremental_pass) {
+    auto flipped = [&](EdgeId e) {
+      return e < num_edges &&
+             static_cast<bool>(fr.edge_frame_ok[e]) != edges_[e].frame_ok;
+    };
+    for (const WireSeg& s : geom_.segs)
+      if (flipped(s.edge))
+        for (std::uint32_t b = band_of(std::min(s.y1, s.y2));
+             b <= band_of(std::max(s.y1, s.y2)); ++b)
+          bands_[b].dirty = true;
+    for (const Via& v : geom_.vias)
+      if (flipped(v.edge)) bands_[band_of(v.y)].dirty = true;
+  }
+
+  // Phase 2: bin records into dirty bands, scan them, merge in band order.
+  std::vector<std::uint32_t> scan;
+  scan.reserve(num_bands_);
+  for (std::uint32_t b = 0; b < num_bands_; ++b)
+    if (bands_[b].dirty) scan.push_back(b);
+  rep.bands = num_bands_;
+  rep.bands_checked = static_cast<std::uint32_t>(scan.size());
+  rep.bands_skipped = num_bands_ - rep.bands_checked;
+
+  // Pre-pass dirty set, for edge staleness decisions below.
+  std::vector<std::uint32_t> dirty_prefix(num_bands_ + 1, 0);
+  for (std::uint32_t b = 0; b < num_bands_; ++b)
+    dirty_prefix[b + 1] = dirty_prefix[b] + (bands_[b].dirty ? 1 : 0);
+  auto any_dirty = [&](std::uint32_t lo, std::uint32_t hi) {
+    hi = std::min(hi, num_bands_ - 1);
+    lo = std::min(lo, hi);
+    return dirty_prefix[hi + 1] > dirty_prefix[lo];
+  };
+  struct EdgeSpan {
+    std::uint32_t lo = 0, hi = 0;
+    bool routed = false;
+  };
+  std::vector<EdgeSpan> spans(num_edges);
+  auto widen = [&](EdgeId e, std::uint32_t b0, std::uint32_t b1) {
+    EdgeSpan& sp = spans[e];
+    if (!sp.routed) {
+      sp.routed = true;
+      sp.lo = b0;
+      sp.hi = b1;
+    } else {
+      sp.lo = std::min(sp.lo, b0);
+      sp.hi = std::max(sp.hi, b1);
+    }
+  };
+  std::vector<BandInput> inputs(num_bands_);
+  for (std::size_t si = 0; si < geom_.segs.size(); ++si) {
+    const WireSeg& s = geom_.segs[si];
+    if (s.edge >= num_edges || !fr.edge_frame_ok[s.edge]) continue;
+    const std::uint32_t b0 = band_of(s.y1);
+    const std::uint32_t b1 = band_of(s.y2);
+    widen(s.edge, b0, b1);
+    for (std::uint32_t b = b0; b <= b1; ++b)
+      if (bands_[b].dirty)
+        inputs[b].segs.push_back(static_cast<std::uint32_t>(si));
+  }
+  for (std::size_t vi = 0; vi < geom_.vias.size(); ++vi) {
+    const Via& v = geom_.vias[vi];
+    if (v.edge >= num_edges || !fr.edge_frame_ok[v.edge]) continue;
+    const std::uint32_t b = band_of(v.y);
+    widen(v.edge, b, b);
+    if (bands_[b].dirty)
+      inputs[b].vias.push_back(static_cast<std::uint32_t>(vi));
+  }
+  for (std::uint32_t bi : fr.reg_boxes) {
+    const NodeBox& b = geom_.boxes[bi];
+    const std::uint32_t b0 = band_of(b.y);
+    const std::uint32_t b1 = band_of(b.y + b.h - 1);
+    for (std::uint32_t bb = b0; bb <= b1; ++bb)
+      if (bands_[bb].dirty) inputs[bb].boxes.push_back(bi);
+  }
+
+  const std::uint32_t nthreads = resolve_threads(opt_.threads);
+  std::vector<BandResult> results(scan.size());
+  if (!scan.empty()) {
+    const BandContext ctx{g_,
+                          geom_,
+                          opt_.via_rule,
+                          rows_per_band_,
+                          geom_.height,
+                          geom_.width,
+                          geom_.num_layers,
+                          std::max<std::size_t>(sink.capacity(), 1)};
+    std::vector<BandScratch> scratch(
+        std::max<std::size_t>(1, std::min<std::size_t>(nthreads, scan.size())));
+    parallel_for(nthreads, scan.size(), [&](std::size_t i, std::uint32_t w) {
+      if (!thorough && sink.full()) return;
+      results[i].scanned = true;
+      if (dense_)
+        scan_band_dense(ctx, scan[i], inputs[scan[i]], results[i], scratch[w]);
+      else
+        scan_band_sorted(ctx, scan[i], inputs[scan[i]], results[i],
+                         scratch[w]);
+    });
+  }
+  bool incomplete = false;
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    if (!results[i].scanned) {
+      incomplete = true;  // producers-stop: band skipped on a full sink
       continue;
     }
-    std::sort(p.begin(), p.end());
-    p.erase(std::unique(p.begin(), p.end()), p.end());
-    auto has = [&](std::uint64_t k) {
-      return std::binary_search(p.begin(), p.end(), k);
-    };
-    // BFS over the edge's own points.
-    std::vector<std::uint64_t> stack{p[0]};
-    std::vector<bool> seen(p.size(), false);
-    seen[0] = true;
-    std::size_t reached = 1;
-    const Edge& ed = g.edge(e);
-    const NodeBox* bu = box_of[ed.u];
-    const NodeBox* bv = box_of[ed.v];
-    bool touch_u = false, touch_v = false;
-    auto check_touch = [&](std::uint64_t k) {
-      const std::uint32_t xx = key_x(k);
-      const std::uint32_t yy = key_y(k);
-      const std::uint32_t zz = key_z(k);
-      if (bu && zz == bu->layer && bu->contains(xx, yy)) touch_u = true;
-      if (bv && zz == bv->layer && bv->contains(xx, yy)) touch_v = true;
-    };
-    check_touch(p[0]);
-    while (!stack.empty()) {
-      const std::uint64_t k = stack.back();
-      stack.pop_back();
-      const std::uint32_t xx = key_x(k);
-      const std::uint32_t yy = key_y(k);
-      const std::uint32_t zz = key_z(k);
-      const std::uint64_t nbr[6] = {
-          xx > 0 ? key3(xx - 1, yy, zz) : k, key3(xx + 1, yy, zz),
-          yy > 0 ? key3(xx, yy - 1, zz) : k, key3(xx, yy + 1, zz),
-          zz > 1 ? key3(xx, yy, zz - 1) : k, key3(xx, yy, zz + 1)};
-      for (std::uint64_t nk : nbr) {
-        if (nk == k || !has(nk)) continue;
-        const std::size_t idx =
-            std::lower_bound(p.begin(), p.end(), nk) - p.begin();
-        if (!seen[idx]) {
-          seen[idx] = true;
-          ++reached;
-          check_touch(nk);
-          stack.push_back(nk);
-        }
-      }
-    }
-    if (reached != p.size()) {
-      // Locate a stranded point so the diagnostic names real coordinates.
-      std::uint64_t stranded = p[0];
-      for (std::size_t i = 0; i < p.size(); ++i)
-        if (!seen[i]) {
-          stranded = p[i];
-          break;
-        }
-      report(at(stranded, {.code = Code::kEdgeDisconnected, .edge = e}));
-      continue;
-    }
-    if ((!touch_u && bu) || (!touch_v && bv)) {
-      const NodeBox* missing = (!touch_u && bu) ? bu : bv;
-      report({.code = Code::kEdgeMissesTerminal,
-              .has_point = true,
-              .x = missing->x,
-              .y = missing->y,
-              .layer = missing->layer,
-              .edge = e,
-              .node = missing->node});
-    }
+    BandCache& c = bands_[scan[i]];
+    c.diags = std::move(results[i].diags);
+    c.points = results[i].points;
+    c.dirty = false;
+    rep.points_examined += results[i].examined;
+  }
+  for (std::uint32_t b = 0; b < num_bands_; ++b) {
+    if (bands_[b].dirty) continue;  // skipped this pass, nothing cached
+    rep.points += bands_[b].points;
+    for (const Diagnostic& d : bands_[b].diags) reporter(d);
   }
 
-  return points;
+  // Phase 3: connectivity, only for edges whose state could have changed.
+  const bool skip_conn = !thorough && sink.full();
+  std::vector<char> to_check(num_edges, 0);
+  std::vector<std::uint32_t> check_list;
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    EdgeCache& c = edges_[e];
+    if (!fr.edge_frame_ok[e]) {
+      // Frame violations were already reported; no connectivity verdict.
+      c.diags.clear();
+      c.frame_ok = false;
+      c.routed = spans[e].routed;
+      continue;
+    }
+    bool stale = !incremental_pass || !c.frame_ok ||
+                 c.routed != spans[e].routed;
+    if (!stale && spans[e].routed &&
+        (c.band_lo != spans[e].lo || c.band_hi != spans[e].hi))
+      stale = true;
+    if (!stale && spans[e].routed && any_dirty(spans[e].lo, spans[e].hi))
+      stale = true;
+    if (stale && !skip_conn) {
+      to_check[e] = 1;
+      check_list.push_back(e);
+    } else if (stale) {
+      incomplete = true;
+    }
+  }
+  rep.edges_checked = static_cast<std::uint32_t>(check_list.size());
+  if (!check_list.empty()) {
+    std::vector<std::vector<std::uint64_t>> pts(num_edges);
+    for (const WireSeg& s : geom_.segs) {
+      if (s.edge >= num_edges || !to_check[s.edge]) continue;
+      for (std::uint32_t yy = s.y1; yy <= s.y2; ++yy)
+        for (std::uint32_t xx = s.x1; xx <= s.x2; ++xx)
+          pts[s.edge].push_back(key3(xx, yy, s.layer));
+    }
+    for (const Via& v : geom_.vias) {  // full column: vias always connect
+      if (v.edge >= num_edges || !to_check[v.edge]) continue;
+      for (std::uint32_t zz = v.z1; zz <= v.z2; ++zz)
+        pts[v.edge].push_back(key3(v.x, v.y, zz));
+    }
+    for (EdgeId e : check_list) rep.points_examined += pts[e].size();
+
+    std::vector<std::vector<Diagnostic>> conn(check_list.size());
+    std::atomic<bool> conn_skipped{false};
+    parallel_for(nthreads, check_list.size(),
+                 [&](std::size_t i, std::uint32_t) {
+                   if (!thorough && sink.full()) {
+                     conn_skipped.store(true, std::memory_order_relaxed);
+                     return;
+                   }
+                   conn[i] = verify_edge(g_, check_list[i], pts[check_list[i]],
+                                         fr.box_of);
+                 });
+    if (conn_skipped.load(std::memory_order_relaxed)) incomplete = true;
+    for (std::size_t i = 0; i < check_list.size(); ++i) {
+      EdgeCache& c = edges_[check_list[i]];
+      c.diags = std::move(conn[i]);
+      c.frame_ok = true;
+      c.routed = spans[check_list[i]].routed;
+      c.band_lo = spans[check_list[i]].lo;
+      c.band_hi = spans[check_list[i]].hi;
+    }
+  }
+  for (EdgeId e = 0; e < num_edges; ++e)
+    for (const Diagnostic& d : edges_[e].diags) reporter(d);
+
+  built_ = opt_.incremental && !incomplete;
+  if (incomplete) mark_all_dirty();
+  return finalize();
+}
+
+// ---- Legacy free-function API ---------------------------------------------
+
+std::uint64_t check_layout_all(const Graph& g, const LayoutGeometry& geom,
+                               ViaRule rule, DiagnosticSink& sink) {
+  Checker checker(g, geom, {.via_rule = rule});
+  return checker.check(sink).points;
 }
 
 CheckResult check_layout(const Graph& g, const LayoutGeometry& geom,
                          ViaRule rule) {
-  DiagnosticSink sink(1);
-  CheckResult res;
-  res.points = check_layout_all(g, geom, rule, sink);
-  res.ok = sink.empty();
-  if (!res.ok) res.error = sink.first()->to_string();
-  return res;
+  Checker checker(g, geom, {.via_rule = rule});
+  CheckReport r = checker.check();
+  return CheckResult{r.ok, std::move(r.error), r.points};
 }
 
 CheckResult check_layout(const Graph& g, const MultilayerLayout& ml) {

@@ -104,6 +104,10 @@ struct JobResult {
 struct SweepOptions {
   unsigned threads = 0;  ///< worker count; 0 = hardware concurrency
   bool check = true;     ///< run the geometric checker per job
+  /// Band-check workers per job (CheckOptions::threads). Default 1: the
+  /// sweep already parallelizes across jobs; raise it only for single-job
+  /// batches on huge layouts.
+  std::uint32_t check_threads = 1;
   bool use_cache = true; ///< share Orthogonal2Layer across same-spec jobs
   /// Topology-cache entries past which a kWarning diagnostic is emitted
   /// (into SweepReport::warnings) and engine.cache.soft_overflow ticks.

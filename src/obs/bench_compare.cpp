@@ -139,6 +139,9 @@ DiffReport diff_bench(const BenchFile& baseline, const BenchFile& current,
     if (baseline.env.build_type != current.env.build_type)
       note += "build type '" + baseline.env.build_type + "' vs '" +
               current.env.build_type + "'; ";
+    if (baseline.env.flags != current.env.flags)
+      note += "flags '" + baseline.env.flags + "' vs '" + current.env.flags +
+              "'; ";
     if (baseline.env.cores != current.env.cores)
       note += "cores " + std::to_string(baseline.env.cores) + " vs " +
               std::to_string(current.env.cores) + "; ";

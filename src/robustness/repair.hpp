@@ -10,6 +10,11 @@
 // itself (overlapping or out-of-bounds node boxes, bad dimensions) cannot be
 // repaired by re-routing and are reported honestly as unrepairable, as are
 // edges for which no free path exists.
+//
+// Re-verification is incremental: one `Checker` is kept across passes, every
+// record the repair deletes or routes marks its y-extent dirty, and each
+// pass after the first re-scans only the dirty bands (DESIGN.md §7.13) —
+// repair cost tracks the damage, not the layout size.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +32,8 @@ struct RepairOptions {
   ViaRule rule = ViaRule::kBlocking;
   std::uint32_t max_passes = 3;          ///< rip-up/re-route/re-verify rounds
   std::size_t max_diagnostics = 512;     ///< per-pass collection budget
+  /// Worker threads for each verification pass (CheckOptions::threads).
+  std::uint32_t check_threads = 1;
   /// Router give-up threshold: cells visited per edge before declaring it
   /// unroutable (bounds worst-case work on dense or adversarial layouts).
   std::uint64_t max_search_cells = 4u << 20;

@@ -179,6 +179,30 @@ TEST(RunLayout, EndToEndThroughTheFacade) {
   EXPECT_TRUE(check_layout(o->graph, res.layout).ok);
 }
 
+TEST(RunLayout, CheckReportRidesTheResult) {
+  LayoutRequest req;
+  req.spec = *FamilyRegistry::instance().parse("hypercube(n=4)");
+  req.options = {.L = 4};
+  req.check_options.threads = 2;  // via_rule is overridden by the layout's
+  LayoutResult res = run_layout(req);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.check_report.ok);
+  EXPECT_GT(res.check_report.points, 0u);
+  EXPECT_GT(res.check_report.bands, 0u);
+  EXPECT_EQ(res.check_report.bands_checked, res.check_report.bands);
+  EXPECT_EQ(res.check_report.bands_skipped, 0u);
+  // The deprecated mirror keeps old callers working.
+  EXPECT_EQ(res.check_points, res.check_report.points);
+
+  // check=false leaves the report in its default state.
+  req.check = false;
+  LayoutResult unchecked = run_layout(req);
+  ASSERT_TRUE(unchecked.ok) << unchecked.error;
+  EXPECT_FALSE(unchecked.check_report.ok);
+  EXPECT_EQ(unchecked.check_report.points, 0u);
+  EXPECT_EQ(unchecked.check_points, 0u);
+}
+
 TEST(RunLayout, BadLayerCountFailsWithDiagnostic) {
   DiagnosticSink sink(4);
   LayoutRequest req;

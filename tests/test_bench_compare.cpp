@@ -267,6 +267,35 @@ TEST(BenchDiff, EnvMismatchIsFlagged) {
   EXPECT_NE(rep.env_note.find("build type"), std::string::npos);
 }
 
+TEST(BenchDiff, EnvMismatchNamesEveryDifferingField) {
+  const std::string env_a =
+      R"({"compiler": "gcc 13", "build_type": "Release", "flags": "-O2", "cores": 8})";
+  const std::string env_b =
+      R"({"compiler": "clang 18", "build_type": "Release", "flags": "-O3 -march=native", "cores": 16})";
+  TempFile base("base8f.json",
+                bench_json({record_json("ccc", 4, 24, 10, 0, 7)}, env_a));
+  TempFile cur("cur8f.json",
+               bench_json({record_json("ccc", 4, 24, 10, 0, 7)}, env_b));
+  auto b = load_bench_file(base.path(), nullptr);
+  auto c = load_bench_file(cur.path(), nullptr);
+  ASSERT_TRUE(b && c);
+  EXPECT_EQ(b->env.flags, "-O2");
+  DiffReport rep = diff_bench(*b, *c, {});
+  ASSERT_TRUE(rep.env_mismatch);
+  // The note carries both values for every field that differs — the matched
+  // build_type stays out of it.
+  EXPECT_NE(rep.env_note.find("compiler 'gcc 13' vs 'clang 18'"),
+            std::string::npos)
+      << rep.env_note;
+  EXPECT_NE(rep.env_note.find("flags '-O2' vs '-O3 -march=native'"),
+            std::string::npos)
+      << rep.env_note;
+  EXPECT_NE(rep.env_note.find("cores 8 vs 16"), std::string::npos)
+      << rep.env_note;
+  EXPECT_EQ(rep.env_note.find("build type"), std::string::npos)
+      << rep.env_note;
+}
+
 TEST(BenchDiff, MalformedInputsAreRejectedWithReason) {
   std::string err;
   EXPECT_FALSE(load_bench_file("does_not_exist.json", &err).has_value());

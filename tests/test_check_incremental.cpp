@@ -1,0 +1,192 @@
+// Differential proof of the incremental checker: a fault-injected layout
+// re-verified through mark_dirty()/recheck() must be indistinguishable —
+// verdict, first error, point count, and the full diagnostic sequence — from
+// a from-scratch full check of the same mutated geometry, for every fault
+// operator, serially and with 8 band workers, and regardless of harmless
+// over-marking of extra bands.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/multilayer.hpp"
+#include "layout/hypercube_layout.hpp"
+#include "layout/kary_layout.hpp"
+#include "robustness/fault_injector.hpp"
+
+namespace mlvl {
+namespace {
+
+using robustness::FaultKind;
+
+auto seg_key(const WireSeg& s) {
+  return std::tuple(s.x1, s.y1, s.x2, s.y2, s.layer, s.edge);
+}
+auto via_key(const Via& v) { return std::tuple(v.x, v.y, v.z1, v.z2, v.edge); }
+auto box_key(const NodeBox& b) {
+  return std::tuple(b.x, b.y, b.w, b.h, b.node, b.layer);
+}
+
+/// The dirty regions an editor owes the checker: the y-extent of every
+/// record that differs between the two snapshots, on both sides (a moved
+/// record dirties where it was and where it now is).
+std::vector<DirtyRegion> diff_regions(const LayoutGeometry& before,
+                                      const LayoutGeometry& after) {
+  std::vector<DirtyRegion> out;
+  const std::size_t ns = std::max(before.segs.size(), after.segs.size());
+  for (std::size_t i = 0; i < ns; ++i) {
+    const bool in_b = i < before.segs.size();
+    const bool in_a = i < after.segs.size();
+    if (in_b && in_a && seg_key(before.segs[i]) == seg_key(after.segs[i]))
+      continue;
+    if (in_b) out.push_back({before.segs[i].y1, before.segs[i].y2});
+    if (in_a) out.push_back({after.segs[i].y1, after.segs[i].y2});
+  }
+  const std::size_t nv = std::max(before.vias.size(), after.vias.size());
+  for (std::size_t i = 0; i < nv; ++i) {
+    const bool in_b = i < before.vias.size();
+    const bool in_a = i < after.vias.size();
+    if (in_b && in_a && via_key(before.vias[i]) == via_key(after.vias[i]))
+      continue;
+    if (in_b) out.push_back({before.vias[i].y, before.vias[i].y});
+    if (in_a) out.push_back({after.vias[i].y, after.vias[i].y});
+  }
+  const std::size_t nb = std::max(before.boxes.size(), after.boxes.size());
+  for (std::size_t i = 0; i < nb; ++i) {
+    const bool in_b = i < before.boxes.size();
+    const bool in_a = i < after.boxes.size();
+    if (in_b && in_a && box_key(before.boxes[i]) == box_key(after.boxes[i]))
+      continue;
+    if (in_b)
+      out.push_back(
+          {before.boxes[i].y, before.boxes[i].y + before.boxes[i].h - 1});
+    if (in_a)
+      out.push_back(
+          {after.boxes[i].y, after.boxes[i].y + after.boxes[i].h - 1});
+  }
+  return out;
+}
+
+std::vector<std::string> rendered(const DiagnosticSink& sink) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : sink.diagnostics()) out.push_back(d.to_string());
+  return out;
+}
+
+struct Fixture {
+  std::string name;
+  Orthogonal2Layer o;
+  MultilayerLayout ml;
+};
+
+std::vector<Fixture>& fixtures() {
+  static std::vector<Fixture> cases = [] {
+    std::vector<Fixture> out;
+    {
+      Orthogonal2Layer o = layout::layout_hypercube(4);
+      MultilayerLayout ml = realize(o, {.L = 8});
+      out.push_back({"hypercube(4) L=8", std::move(o), std::move(ml)});
+    }
+    {
+      Orthogonal2Layer o = layout::layout_kary(3, 2);
+      MultilayerLayout ml = realize(o, {.L = 4});
+      out.push_back({"kary(3,2) L=4", std::move(o), std::move(ml)});
+    }
+    return out;
+  }();
+  return cases;
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 17, 99};
+constexpr std::size_t kSinkCap = 4096;
+
+/// One differential trial: prime an incremental checker on the pristine
+/// layout, inject, mark exactly the diffed regions (plus optional noise
+/// bands), recheck, and demand byte-identity with a fresh full check.
+void run_trial(const Fixture& c, FaultKind k, std::uint64_t seed,
+               std::uint32_t threads, bool overmark, int& applied) {
+  LayoutGeometry geom = c.ml.geom;
+  Checker inc(c.o.graph, geom,
+              {.via_rule = c.ml.required_rule,
+               .threads = threads,
+               .incremental = true});
+  {
+    DiagnosticSink prime(kSinkCap);
+    ASSERT_TRUE(inc.check(prime).ok) << c.name << ": " << prime.summary();
+  }
+
+  const LayoutGeometry before = geom;
+  auto fault = robustness::inject(k, c.o.graph, geom, seed);
+  if (!fault) return;
+  ++applied;
+
+  for (const DirtyRegion& r : diff_regions(before, geom)) inc.mark_dirty(r);
+  if (overmark) {
+    // Harmless extra taint: clean bands rescan to the same cached result.
+    std::uint64_t x = seed * 6364136223846793005ull + 1442695040888963407ull;
+    for (int i = 0; i < 3; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      const auto y = static_cast<std::uint32_t>((x >> 33) % geom.height);
+      inc.mark_dirty({y, y});
+    }
+  }
+
+  DiagnosticSink inc_sink(kSinkCap);
+  CheckReport inc_rep = inc.recheck(inc_sink);
+
+  DiagnosticSink full_sink(kSinkCap);
+  Checker fresh(c.o.graph, geom, {.via_rule = c.ml.required_rule});
+  CheckReport full_rep = fresh.check(full_sink);
+
+  const std::string ctx = c.name + " / " + robustness::fault_name(k) +
+                          " seed " + std::to_string(seed) + " threads " +
+                          std::to_string(threads) +
+                          (overmark ? " overmarked" : "");
+  EXPECT_EQ(inc_rep.ok, full_rep.ok) << ctx;
+  EXPECT_EQ(inc_rep.error, full_rep.error) << ctx;
+  EXPECT_EQ(inc_rep.points, full_rep.points) << ctx;
+  EXPECT_EQ(rendered(inc_sink), rendered(full_sink)) << ctx;
+  // Geometry faults must be caught by the incremental pass alone.
+  EXPECT_FALSE(inc_rep.ok) << ctx;
+  EXPECT_TRUE(inc_sink.has(fault->expected))
+      << ctx << " (" << fault->note << "): " << inc_sink.summary();
+}
+
+TEST(CheckIncremental, DifferentialAgainstFullCheckSerial) {
+  int applied = 0;
+  for (FaultKind k : robustness::all_faults()) {
+    if (robustness::is_text_fault(k) || robustness::is_lint_fault(k)) continue;
+    for (const Fixture& c : fixtures())
+      for (std::uint64_t seed : kSeeds)
+        run_trial(c, k, seed, /*threads=*/1, /*overmark=*/false, applied);
+  }
+  EXPECT_GT(applied, 0);
+}
+
+TEST(CheckIncremental, DifferentialAgainstFullCheckParallel) {
+  int applied = 0;
+  for (FaultKind k : robustness::all_faults()) {
+    if (robustness::is_text_fault(k) || robustness::is_lint_fault(k)) continue;
+    for (const Fixture& c : fixtures())
+      for (std::uint64_t seed : kSeeds)
+        run_trial(c, k, seed, /*threads=*/8, /*overmark=*/false, applied);
+  }
+  EXPECT_GT(applied, 0);
+}
+
+TEST(CheckIncremental, OvermarkingCleanBandsChangesNothing) {
+  int applied = 0;
+  for (FaultKind k : robustness::all_faults()) {
+    if (robustness::is_text_fault(k) || robustness::is_lint_fault(k)) continue;
+    for (const Fixture& c : fixtures())
+      run_trial(c, k, 17, /*threads=*/1, /*overmark=*/true, applied);
+  }
+  EXPECT_GT(applied, 0);
+}
+
+}  // namespace
+}  // namespace mlvl

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
 namespace mlvl {
 namespace {
 
@@ -161,6 +167,198 @@ TEST(Checker, RejectsMissingBox) {
   Fixture f;
   f.geom.boxes.pop_back();
   EXPECT_FALSE(check_layout(f.g, f.geom).ok);
+}
+
+// ---- The redesigned Checker API -------------------------------------------
+
+/// K disjoint edge groups stacked vertically, one per 3-row stripe: with
+/// band_rows = 3 each group is exactly one y-band, so incremental claims can
+/// be asserted band by band.
+struct Tall {
+  static constexpr std::uint32_t kGroups = 32;
+  Graph g{2 * kGroups};
+  LayoutGeometry geom;
+
+  Tall() {
+    geom.num_layers = 2;
+    geom.width = 12;
+    geom.height = 3 * kGroups;
+    for (std::uint32_t i = 0; i < kGroups; ++i) {
+      const std::uint32_t y = 3 * i;
+      g.add_edge(2 * i, 2 * i + 1);
+      geom.boxes.push_back({0, y, 2, 2, 2 * i});
+      geom.boxes.push_back({9, y, 2, 2, 2 * i + 1});
+      geom.segs.push_back({1, y, 9, y, 1, i});
+    }
+  }
+};
+
+std::vector<std::string> rendered(const DiagnosticSink& sink) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : sink.diagnostics()) out.push_back(d.to_string());
+  return out;
+}
+
+TEST(CheckerApi, FullCheckReportsBandAccounting) {
+  Tall t;
+  Checker checker(t.g, t.geom, {.band_rows = 3});
+  DiagnosticSink sink(256);
+  CheckReport rep = checker.check(sink);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_TRUE(static_cast<bool>(rep));
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(checker.num_bands(), Tall::kGroups);
+  EXPECT_EQ(checker.rows_per_band(), 3u);
+  EXPECT_EQ(rep.bands, Tall::kGroups);
+  EXPECT_EQ(rep.bands_checked, Tall::kGroups);
+  EXPECT_EQ(rep.bands_skipped, 0u);
+  EXPECT_EQ(rep.edges_checked, Tall::kGroups);
+  EXPECT_EQ(rep.points, 9u * Tall::kGroups);  // each wire claims 9 points
+  EXPECT_GE(rep.points_examined, rep.points);
+}
+
+TEST(CheckerApi, ParallelMatchesSerialByteForByte) {
+  // Seed collisions into several bands: each tampered group gains a second
+  // wire, owned by the *next* edge, on the same track.
+  Tall t;
+  for (std::uint32_t i : {3u, 11u, 20u, 30u})
+    t.geom.segs.push_back({1, 3 * i, 9, 3 * i, 1, i + 1});
+
+  DiagnosticSink serial_sink(4096);
+  Checker serial(t.g, t.geom, {.threads = 1});
+  CheckReport serial_rep = serial.check(serial_sink);
+
+  DiagnosticSink parallel_sink(4096);
+  Checker parallel(t.g, t.geom, {.threads = 8});
+  CheckReport parallel_rep = parallel.check(parallel_sink);
+
+  EXPECT_FALSE(serial_rep.ok);
+  EXPECT_EQ(serial_rep.ok, parallel_rep.ok);
+  EXPECT_EQ(serial_rep.error, parallel_rep.error);
+  EXPECT_EQ(serial_rep.points, parallel_rep.points);
+  EXPECT_EQ(rendered(serial_sink), rendered(parallel_sink));
+}
+
+TEST(CheckerApi, RecheckServesCleanBandsFromCache) {
+  Tall t;
+  Checker checker(t.g, t.geom, {.incremental = true, .band_rows = 3});
+  CheckReport full = checker.check();
+  ASSERT_TRUE(full.ok) << full.error;
+
+  // Nothing dirty: every band and every edge comes from the cache.
+  CheckReport clean = checker.recheck();
+  EXPECT_TRUE(clean.ok) << clean.error;
+  EXPECT_EQ(clean.points, full.points);
+  EXPECT_EQ(clean.bands_checked, 0u);
+  EXPECT_EQ(clean.bands_skipped, Tall::kGroups);
+  EXPECT_EQ(clean.edges_checked, 0u);
+  EXPECT_EQ(clean.points_examined, 0u);
+}
+
+TEST(CheckerApi, RecheckSeesNewViolationInDirtyBand) {
+  Tall t;
+  Checker checker(t.g, t.geom, {.incremental = true, .band_rows = 3});
+  ASSERT_TRUE(checker.check().ok);
+
+  // Edge 6 grows a stub that steals a point from edge 5's wire.
+  const std::uint32_t y = 3 * 5;
+  t.geom.segs.push_back({4, y, 4, y + 3, 1, 6});
+  checker.mark_dirty({y, y + 3});
+
+  DiagnosticSink sink(256);
+  CheckReport rep = checker.recheck(sink);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_TRUE(sink.has(Code::kPointCollision)) << sink.summary();
+  EXPECT_LT(rep.bands_checked, rep.bands);
+
+  // The incremental verdict and diagnostics match a from-scratch full check.
+  DiagnosticSink fresh_sink(256);
+  Checker fresh(t.g, t.geom);
+  CheckReport fresh_rep = fresh.check(fresh_sink);
+  EXPECT_EQ(rep.ok, fresh_rep.ok);
+  EXPECT_EQ(rep.error, fresh_rep.error);
+  EXPECT_EQ(rep.points, fresh_rep.points);
+  EXPECT_EQ(rendered(sink), rendered(fresh_sink));
+}
+
+TEST(CheckerApi, RecheckDegradesToFullWithoutPriorPass) {
+  Tall t;
+  Checker checker(t.g, t.geom, {.incremental = true, .band_rows = 3});
+  CheckReport rep = checker.recheck();  // no check() before it
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.bands_checked, Tall::kGroups);
+  EXPECT_EQ(rep.bands_skipped, 0u);
+}
+
+TEST(CheckerApi, NonIncrementalRecheckIsAFullPass) {
+  Tall t;
+  Checker checker(t.g, t.geom, {.band_rows = 3});
+  ASSERT_TRUE(checker.check().ok);
+  CheckReport rep = checker.recheck();
+  EXPECT_EQ(rep.bands_checked, Tall::kGroups);
+  EXPECT_EQ(rep.bands_skipped, 0u);
+}
+
+TEST(CheckerApi, SingleDirtyBandExaminesUnderTenPercentOfPoints) {
+  obs::MetricsRegistry reg;
+  reg.install();
+  Tall t;
+  Checker checker(t.g, t.geom, {.incremental = true, .band_rows = 3});
+  CheckReport full = checker.check();
+  ASSERT_TRUE(full.ok) << full.error;
+  const std::uint64_t full_dirty = reg.counter("check.bands.dirty");
+  EXPECT_EQ(full_dirty, Tall::kGroups);
+  EXPECT_EQ(reg.gauge("grid.points").value_or(-1),
+            static_cast<double>(full.points));
+
+  // Repair-style edit confined to one stripe: re-route edge 7 one row down.
+  const std::uint32_t y = 3 * 7;
+  t.geom.segs[7] = {1, y + 1, 9, y + 1, 1, 7};
+  checker.mark_dirty({y, y + 1});
+
+  CheckReport rep = checker.recheck();
+  obs::MetricsRegistry::uninstall();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.points, full.points);
+  EXPECT_EQ(rep.bands_checked, 1u);
+  EXPECT_EQ(rep.bands_skipped, Tall::kGroups - 1);
+  // The incremental claim, in numbers: under 10% of the occupied points were
+  // re-examined, and the metrics agree with the report.
+  EXPECT_LT(rep.points_examined, full.points / 10);
+  EXPECT_EQ(reg.counter("check.bands.dirty"), full_dirty + 1);
+  EXPECT_EQ(reg.counter("check.bands.clean"), Tall::kGroups - 1);
+  EXPECT_EQ(reg.counter("check.points.examined"),
+            full.points_examined + rep.points_examined);
+  EXPECT_EQ(reg.gauge("grid.points").value_or(-1),
+            static_cast<double>(rep.points));
+}
+
+TEST(CheckerApi, LegacyWrappersMatchCheckerOutput) {
+  Tall t;
+  t.geom.segs.push_back({1, 9, 9, 9, 1, 4});  // edge 4 invades group 3's row
+
+  DiagnosticSink new_sink(4096);
+  Checker checker(t.g, t.geom);
+  CheckReport rep = checker.check(new_sink);
+
+  DiagnosticSink legacy_sink(4096);
+  const std::uint64_t legacy_points =
+      check_layout_all(t.g, t.geom, ViaRule::kBlocking, legacy_sink);
+  CheckResult legacy = check_layout(t.g, t.geom);
+
+  EXPECT_EQ(rep.points, legacy_points);
+  EXPECT_EQ(rep.ok, legacy.ok);
+  EXPECT_EQ(rep.error, legacy.error);
+  EXPECT_EQ(rendered(new_sink), rendered(legacy_sink));
+}
+
+TEST(CheckerApi, FirstFailureConvenienceCarriesError) {
+  Fixture f;
+  f.geom.segs.clear();
+  CheckReport rep = Checker(f.g, f.geom).check();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.error.empty());
+  EXPECT_FALSE(static_cast<bool>(rep));
 }
 
 }  // namespace

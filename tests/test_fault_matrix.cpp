@@ -74,11 +74,13 @@ TEST(FaultMatrix, EveryGeometryOperatorTriggersItsDeclaredCode) {
         EXPECT_EQ(fault->expected, robustness::expected_code(k));
 
         DiagnosticSink sink(4096);
-        check_layout_all(c.o.graph, geom, c.ml.required_rule, sink);
+        Checker checker(c.o.graph, geom, {.via_rule = c.ml.required_rule});
+        CheckReport rep = checker.check(sink);
         EXPECT_TRUE(sink.has(fault->expected))
             << robustness::fault_name(k) << " on " << c.name << " seed "
             << seed << " (" << fault->note << "): got " << sink.summary();
-        // The legacy first-failure API must reject the layout too.
+        EXPECT_FALSE(rep.ok) << robustness::fault_name(k);
+        // The legacy first-failure wrapper must reject the layout too.
         EXPECT_FALSE(check_layout(c.o.graph, geom, c.ml.required_rule).ok)
             << robustness::fault_name(k);
       }
@@ -125,7 +127,8 @@ TEST(FaultMatrix, LintFaultIsInvisibleToCheckerButCaughtByLinter) {
       applied = true;
       // Checker-invisible: the mutated layout still passes full validation.
       DiagnosticSink check_sink(4096);
-      check_layout_all(c.o.graph, geom, c.ml.required_rule, check_sink);
+      Checker(c.o.graph, geom, {.via_rule = c.ml.required_rule})
+          .check(check_sink);
       EXPECT_TRUE(check_sink.empty())
           << c.name << " seed " << seed << " (" << fault->note
           << "): " << check_sink.summary();

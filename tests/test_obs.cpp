@@ -453,6 +453,7 @@ TEST(UsageText, NamesTheInstalledBinaryAndEveryFlagFamily) {
         "bench-diff <baseline.json> <current.json>", "--max-regress",
         "--noise-floor", "--json", "--save-baseline", "--metrics-interval",
         "profile <trace.json>", "--report <file>", "--top <N>",
+        "--check-threads <N>", "--via-rule <rule>", "checker options",
         "exit codes: 0 valid, 1 invalid, 2 parse error, 3 usage"})
     EXPECT_NE(usage.find(needle), std::string::npos)
         << "usage text lost: " << needle;
